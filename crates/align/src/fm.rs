@@ -1,0 +1,340 @@
+//! FM-index and an UNCALLED-style event-space classifier (paper §8).
+//!
+//! UNCALLED avoids basecalling by segmenting the raw signal into events,
+//! converting each event into candidate k-mers via the pore model, looking
+//! the candidates up in an FM-index of the reference, and clustering the
+//! hits. This module provides a compact FM-index (suffix array + BWT +
+//! occurrence table) and a simplified version of that classifier so the
+//! related-work comparison can be reproduced.
+
+use sf_genome::{Base, Sequence};
+use sf_pore_model::KmerModel;
+
+/// An FM-index over a DNA sequence (plus sentinel).
+#[derive(Debug, Clone)]
+pub struct FmIndex {
+    /// Suffix array of the text (sentinel included).
+    suffix_array: Vec<u32>,
+    /// Burrows–Wheeler transform, 0..=3 for bases and 4 for the sentinel.
+    bwt: Vec<u8>,
+    /// For each symbol, the number of text symbols strictly smaller.
+    c_table: [usize; 5],
+    /// Sampled occurrence counts every `OCC_SAMPLE` positions.
+    occ_samples: Vec<[u32; 4]>,
+    text_len: usize,
+}
+
+const OCC_SAMPLE: usize = 64;
+
+impl FmIndex {
+    /// Builds the index for a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn build(sequence: &Sequence) -> Self {
+        assert!(!sequence.is_empty(), "cannot index an empty sequence");
+        // Text symbols: base codes 0..=3, sentinel = 4 conceptually smaller
+        // than everything; we store it as a distinct value and sort suffixes
+        // treating the end-of-text as smallest.
+        let text: Vec<u8> = sequence.iter().map(|b| b.code()).collect();
+        let n = text.len();
+        let mut suffix_array: Vec<u32> = (0..=n as u32).collect();
+        suffix_array.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+        // BWT: character preceding each suffix (sentinel = 4 for suffix 0).
+        let bwt: Vec<u8> = suffix_array
+            .iter()
+            .map(|&s| if s == 0 { 4 } else { text[s as usize - 1] })
+            .collect();
+        // C table over the text plus sentinel.
+        let mut counts = [0usize; 5];
+        for &c in &text {
+            counts[c as usize] += 1;
+        }
+        counts[4] = 1;
+        let mut c_table = [0usize; 5];
+        // Order: sentinel < A < C < G < T.
+        c_table[0] = 1; // one sentinel precedes A
+        c_table[1] = c_table[0] + counts[0];
+        c_table[2] = c_table[1] + counts[1];
+        c_table[3] = c_table[2] + counts[2];
+        c_table[4] = 0; // sentinel row (unused for search)
+        // Occurrence samples.
+        let mut occ = [0u32; 4];
+        let mut occ_samples = Vec::with_capacity(bwt.len() / OCC_SAMPLE + 2);
+        for (i, &c) in bwt.iter().enumerate() {
+            if i % OCC_SAMPLE == 0 {
+                occ_samples.push(occ);
+            }
+            if (c as usize) < 4 {
+                occ[c as usize] += 1;
+            }
+        }
+        occ_samples.push(occ);
+        FmIndex {
+            suffix_array,
+            bwt,
+            c_table,
+            occ_samples,
+            text_len: n,
+        }
+    }
+
+    /// Length of the indexed text (without the sentinel).
+    pub fn len(&self) -> usize {
+        self.text_len
+    }
+
+    /// Returns `true` if the indexed text is empty (never true — construction
+    /// rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.text_len == 0
+    }
+
+    /// Number of occurrences of symbol `c` in `bwt[..pos]`.
+    fn occ(&self, c: u8, pos: usize) -> usize {
+        let sample = pos / OCC_SAMPLE;
+        let mut count = self.occ_samples[sample][c as usize] as usize;
+        for &b in &self.bwt[sample * OCC_SAMPLE..pos] {
+            if b == c {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Backward search: the suffix-array interval of exact occurrences of
+    /// `pattern`, or `None` if it does not occur.
+    pub fn interval(&self, pattern: &[Base]) -> Option<(usize, usize)> {
+        let mut lo = 0usize;
+        let mut hi = self.bwt.len();
+        for &base in pattern.iter().rev() {
+            let c = base.code();
+            lo = self.c_table[c as usize] + self.occ(c, lo);
+            hi = self.c_table[c as usize] + self.occ(c, hi);
+            if lo >= hi {
+                return None;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// All text positions where `pattern` occurs.
+    pub fn locate(&self, pattern: &[Base]) -> Vec<usize> {
+        match self.interval(pattern) {
+            None => Vec::new(),
+            Some((lo, hi)) => {
+                let mut positions: Vec<usize> = self.suffix_array[lo..hi]
+                    .iter()
+                    .map(|&s| s as usize)
+                    .collect();
+                positions.sort_unstable();
+                positions
+            }
+        }
+    }
+
+    /// Number of occurrences of `pattern`.
+    pub fn count(&self, pattern: &[Base]) -> usize {
+        self.interval(pattern).map(|(lo, hi)| hi - lo).unwrap_or(0)
+    }
+}
+
+/// Configuration of the UNCALLED-style event classifier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct UncalledConfig {
+    /// How many candidate k-mers to consider per event (nearest pore-model
+    /// levels).
+    pub candidates_per_event: usize,
+    /// Seed length used for FM-index lookups (must be ≤ the pore-model k).
+    pub seed_length: usize,
+    /// Minimum number of seed hits on a consistent diagonal band to call the
+    /// read a target.
+    pub min_clustered_hits: usize,
+    /// Width of the diagonal band used for clustering.
+    pub cluster_band: usize,
+}
+
+impl Default for UncalledConfig {
+    fn default() -> Self {
+        UncalledConfig {
+            candidates_per_event: 4,
+            seed_length: 6,
+            min_clustered_hits: 6,
+            cluster_band: 400,
+        }
+    }
+}
+
+/// Simplified UNCALLED-style classifier: events → candidate k-mers →
+/// FM-index hits → diagonal clustering.
+#[derive(Debug, Clone)]
+pub struct UncalledClassifier {
+    index: FmIndex,
+    model: KmerModel,
+    config: UncalledConfig,
+    /// Pore-model levels sorted by current, for nearest-level lookups.
+    sorted_levels: Vec<(f32, usize)>,
+}
+
+impl UncalledClassifier {
+    /// Builds the classifier for a target reference.
+    pub fn new(reference: &Sequence, model: KmerModel, config: UncalledConfig) -> Self {
+        let mut sorted_levels: Vec<(f32, usize)> =
+            (0..model.len()).map(|rank| (model.level(rank).mean_pa, rank)).collect();
+        sorted_levels.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite levels"));
+        UncalledClassifier {
+            index: FmIndex::build(reference),
+            model,
+            config,
+            sorted_levels,
+        }
+    }
+
+    /// The classifier configuration.
+    pub fn config(&self) -> &UncalledConfig {
+        &self.config
+    }
+
+    /// Classifies a read from its event means (picoamperes). Returns the
+    /// number of clustered hits; the read is a target when the count reaches
+    /// `min_clustered_hits`.
+    pub fn clustered_hits(&self, event_means: &[f32]) -> usize {
+        let k = self.model.k();
+        let seed = self.config.seed_length.min(k);
+        let mut hits: Vec<(usize, usize)> = Vec::new();
+        for (event_index, &mean) in event_means.iter().enumerate() {
+            for rank in self.nearest_kmers(mean) {
+                // Use the k-mer's leading `seed` bases as the lookup pattern.
+                let pattern: Vec<Base> = (0..seed)
+                    .map(|i| {
+                        let shift = 2 * (k - 1 - i);
+                        Base::from_code(((rank >> shift) & 0b11) as u8)
+                    })
+                    .collect();
+                for position in self.index.locate(&pattern) {
+                    hits.push((event_index, position));
+                }
+            }
+        }
+        // Cluster by diagonal (reference position minus event index): a real
+        // read accumulates many hits in a narrow band.
+        if hits.is_empty() {
+            return 0;
+        }
+        let mut diagonals: Vec<i64> = hits.iter().map(|&(e, p)| p as i64 - e as i64).collect();
+        diagonals.sort_unstable();
+        let band = self.config.cluster_band as i64;
+        let mut best = 1usize;
+        let mut start = 0usize;
+        for end in 0..diagonals.len() {
+            while diagonals[end] - diagonals[start] > band {
+                start += 1;
+            }
+            best = best.max(end - start + 1);
+        }
+        best
+    }
+
+    /// Classifies a read from its event means.
+    pub fn is_target(&self, event_means: &[f32]) -> bool {
+        self.clustered_hits(event_means) >= self.config.min_clustered_hits
+    }
+
+    fn nearest_kmers(&self, mean: f32) -> Vec<usize> {
+        let n = self.config.candidates_per_event;
+        let idx = self
+            .sorted_levels
+            .partition_point(|(level, _)| *level < mean);
+        let lo = idx.saturating_sub(n);
+        let hi = (idx + n).min(self.sorted_levels.len());
+        let mut candidates: Vec<(f32, usize)> = self.sorted_levels[lo..hi].to_vec();
+        candidates.sort_by(|a, b| {
+            (a.0 - mean)
+                .abs()
+                .partial_cmp(&(b.0 - mean).abs())
+                .expect("finite levels")
+        });
+        candidates.into_iter().take(n).map(|(_, rank)| rank).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::random_genome;
+    use std::str::FromStr;
+
+    #[test]
+    fn fm_index_finds_all_occurrences() {
+        let text = Sequence::from_str("ACGTACGTACGT").unwrap();
+        let index = FmIndex::build(&text);
+        let pattern: Vec<Base> = "ACGT".parse::<Sequence>().unwrap().into_bases();
+        assert_eq!(index.count(&pattern), 3);
+        assert_eq!(index.locate(&pattern), vec![0, 4, 8]);
+        let absent: Vec<Base> = "AAAA".parse::<Sequence>().unwrap().into_bases();
+        assert_eq!(index.count(&absent), 0);
+        assert!(index.locate(&absent).is_empty());
+    }
+
+    #[test]
+    fn fm_index_matches_naive_search_on_random_genome() {
+        let genome = random_genome(1, 5_000);
+        let index = FmIndex::build(&genome);
+        assert_eq!(index.len(), 5_000);
+        for start in [0, 1_234, 2_500, 4_980] {
+            let end = (start + 12).min(genome.len());
+            let pattern: Vec<Base> = genome.subsequence(start, end).into_bases();
+            let positions = index.locate(&pattern);
+            assert!(positions.contains(&start), "pattern at {start} not found");
+            // Verify against naive scan.
+            let naive: Vec<usize> = (0..=genome.len() - pattern.len())
+                .filter(|&i| (0..pattern.len()).all(|j| genome[i + j] == pattern[j]))
+                .collect();
+            assert_eq!(positions, naive);
+        }
+    }
+
+    #[test]
+    fn single_base_patterns_count_correctly() {
+        let genome = random_genome(2, 2_000);
+        let index = FmIndex::build(&genome);
+        let total: usize = Base::ALL.iter().map(|&b| index.count(&[b])).sum();
+        assert_eq!(total, 2_000);
+    }
+
+    #[test]
+    fn uncalled_classifier_separates_target_from_background() {
+        let model = KmerModel::synthetic_r94(0);
+        let genome = random_genome(3, 20_000);
+        let classifier = UncalledClassifier::new(&genome, model.clone(), UncalledConfig::default());
+        // Target read: clean event means from a fragment.
+        let fragment = genome.subsequence(4_000, 4_250);
+        let target_events = model.expected_signal(&fragment);
+        // Background read: events from an unrelated sequence.
+        let background_events = model.expected_signal(&random_genome(9, 250));
+        let target_hits = classifier.clustered_hits(&target_events);
+        let background_hits = classifier.clustered_hits(&background_events);
+        assert!(
+            target_hits > background_hits,
+            "target {target_hits} vs background {background_hits}"
+        );
+        assert!(classifier.is_target(&target_events));
+    }
+
+    #[test]
+    fn uncalled_requires_enough_events() {
+        let model = KmerModel::synthetic_r94(0);
+        let genome = random_genome(4, 10_000);
+        let classifier = UncalledClassifier::new(&genome, model, UncalledConfig::default());
+        assert_eq!(classifier.clustered_hits(&[]), 0);
+        assert!(!classifier.is_target(&[90.0, 95.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_cannot_be_indexed() {
+        let _ = FmIndex::build(&Sequence::new());
+    }
+}

@@ -1,0 +1,35 @@
+//! Read alignment and classification baselines.
+//!
+//! The conventional Read Until pipeline classifies a basecalled read prefix
+//! by aligning it to the target genome with minimap2; UNCALLED classifies in
+//! event space with an FM-index. Neither tool can be vendored here, so this
+//! crate implements compact equivalents:
+//!
+//! * [`minimizer`] — minimizer extraction and indexing,
+//! * [`mapper`] — seed chaining, banded extension alignment and read
+//!   classification (the minimap2 stand-in),
+//! * [`fm`] — an FM-index plus a simplified UNCALLED-style event classifier
+//!   (the related-work baseline of §8).
+//!
+//! # Example
+//!
+//! ```
+//! use sf_align::{Mapper, MapperConfig};
+//! use sf_genome::random::random_genome;
+//!
+//! let genome = random_genome(7, 20_000);
+//! let mapper = Mapper::new(&genome, MapperConfig::default());
+//! assert!(mapper.is_target(&genome.subsequence(2_000, 4_000)));
+//! assert!(!mapper.is_target(&random_genome(8, 2_000)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fm;
+pub mod mapper;
+pub mod minimizer;
+
+pub use fm::{FmIndex, UncalledClassifier, UncalledConfig};
+pub use mapper::{banded_align, Mapper, MapperConfig, Mapping, MappingStrand};
+pub use minimizer::{minimizers, Minimizer, MinimizerIndex, MinimizerParams};

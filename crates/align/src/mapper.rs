@@ -1,0 +1,368 @@
+//! Seed chaining, banded extension and read classification (the minimap2
+//! stand-in used by the basecall-and-align baseline).
+
+use crate::minimizer::{MinimizerIndex, MinimizerParams};
+use sf_genome::Sequence;
+
+/// Orientation of a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum MappingStrand {
+    /// The read maps to the reference forward strand.
+    Forward,
+    /// The read maps to the reverse-complement strand.
+    Reverse,
+}
+
+/// A read-to-reference mapping produced by the chainer.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Mapping {
+    /// Strand of the reference the read maps to.
+    pub strand: MappingStrand,
+    /// Approximate reference start of the mapped region.
+    pub reference_start: usize,
+    /// Approximate reference end of the mapped region.
+    pub reference_end: usize,
+    /// Number of chained anchors supporting the mapping.
+    pub anchors: usize,
+    /// Chain score (anchors minus gap penalties).
+    pub score: f64,
+}
+
+/// Configuration of the mapper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MapperConfig {
+    /// Minimizer scheme.
+    pub minimizers: MinimizerParams,
+    /// Maximum diagonal drift between consecutive anchors in a chain.
+    pub max_gap: usize,
+    /// Minimum number of chained anchors for a mapping to be reported.
+    pub min_anchors: usize,
+    /// Minimum chain score for a mapping to be reported.
+    pub min_score: f64,
+}
+
+impl Default for MapperConfig {
+    fn default() -> Self {
+        MapperConfig {
+            minimizers: MinimizerParams::default(),
+            max_gap: 500,
+            min_anchors: 3,
+            min_score: 2.0,
+        }
+    }
+}
+
+/// A minimizer seed–chain mapper bound to one reference genome.
+///
+/// # Examples
+///
+/// ```
+/// use sf_align::{Mapper, MapperConfig};
+/// use sf_genome::random::random_genome;
+///
+/// let genome = random_genome(1, 30_000);
+/// let mapper = Mapper::new(&genome, MapperConfig::default());
+/// let read = genome.subsequence(5_000, 7_000);
+/// let mapping = mapper.map(&read).expect("exact fragment maps");
+/// assert!(mapping.reference_start.abs_diff(5_000) < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mapper {
+    config: MapperConfig,
+    index: MinimizerIndex,
+    reference: Sequence,
+}
+
+impl Mapper {
+    /// Builds a mapper (and its minimizer index) over a reference genome.
+    pub fn new(reference: &Sequence, config: MapperConfig) -> Self {
+        Mapper {
+            index: MinimizerIndex::build(reference, config.minimizers),
+            config,
+            reference: reference.clone(),
+        }
+    }
+
+    /// The mapper configuration.
+    pub fn config(&self) -> &MapperConfig {
+        &self.config
+    }
+
+    /// The reference the mapper is bound to.
+    pub fn reference(&self) -> &Sequence {
+        &self.reference
+    }
+
+    /// Maps a read against both strands and returns the best mapping, if any
+    /// passes the reporting thresholds.
+    pub fn map(&self, read: &Sequence) -> Option<Mapping> {
+        let forward = self.map_one_strand(read, MappingStrand::Forward);
+        let reverse = self.map_one_strand(&read.reverse_complement(), MappingStrand::Reverse);
+        match (forward, reverse) {
+            (Some(f), Some(r)) => Some(if f.score >= r.score { f } else { r }),
+            (Some(f), None) => Some(f),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        }
+    }
+
+    /// Classifies a read: does it align to the target reference?
+    pub fn is_target(&self, read: &Sequence) -> bool {
+        self.map(read).is_some()
+    }
+
+    fn map_one_strand(&self, read: &Sequence, strand: MappingStrand) -> Option<Mapping> {
+        let anchors = self.index.anchors(read);
+        if anchors.is_empty() {
+            return None;
+        }
+        let chain = chain_anchors(&anchors, self.config.max_gap);
+        if chain.len() < self.config.min_anchors {
+            return None;
+        }
+        let score = chain_score(&chain);
+        if score < self.config.min_score {
+            return None;
+        }
+        let first = chain.first().expect("non-empty chain");
+        let last = chain.last().expect("non-empty chain");
+        // Extend the mapped region to cover the whole read.
+        let reference_start = first.1.saturating_sub(first.0);
+        let reference_end = (last.1 + (read.len() - last.0)).min(self.index.reference_length());
+        Some(Mapping {
+            strand,
+            reference_start,
+            reference_end,
+            anchors: chain.len(),
+            score,
+        })
+    }
+}
+
+/// Finds the best co-linear chain of anchors (longest chain with bounded
+/// diagonal drift) by dynamic programming over anchors sorted by query
+/// position.
+fn chain_anchors(anchors: &[(usize, usize)], max_gap: usize) -> Vec<(usize, usize)> {
+    let n = anchors.len();
+    let mut score = vec![1usize; n];
+    let mut parent = vec![usize::MAX; n];
+    for i in 1..n {
+        let (qi, ri) = anchors[i];
+        for j in (0..i).rev() {
+            let (qj, rj) = anchors[j];
+            if qj >= qi || rj >= ri {
+                continue;
+            }
+            let dq = qi - qj;
+            let dr = ri - rj;
+            if dq.abs_diff(dr) > max_gap || dq > max_gap * 4 {
+                continue;
+            }
+            if score[j] + 1 > score[i] {
+                score[i] = score[j] + 1;
+                parent[i] = j;
+            }
+        }
+    }
+    let Some(best) = (0..n).max_by_key(|&i| score[i]) else {
+        return Vec::new();
+    };
+    let mut chain = Vec::with_capacity(score[best]);
+    let mut cursor = best;
+    loop {
+        chain.push(anchors[cursor]);
+        if parent[cursor] == usize::MAX {
+            break;
+        }
+        cursor = parent[cursor];
+    }
+    chain.reverse();
+    chain
+}
+
+/// Chain score: anchor count minus a mild penalty for diagonal drift.
+fn chain_score(chain: &[(usize, usize)]) -> f64 {
+    if chain.is_empty() {
+        return 0.0;
+    }
+    let mut score = chain.len() as f64;
+    for pair in chain.windows(2) {
+        let dq = pair[1].0 - pair[0].0;
+        let dr = pair[1].1 - pair[0].1;
+        score -= (dq.abs_diff(dr) as f64) * 0.01;
+    }
+    score
+}
+
+/// A banded global alignment of a read against a reference window, returning
+/// the edit distance and the per-reference-position aligned read base (or
+/// `None` for a deletion). Used by the pileup-based variant caller.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty.
+pub fn banded_align(
+    read: &Sequence,
+    reference_window: &Sequence,
+    band: usize,
+) -> (usize, Vec<Option<sf_genome::Base>>) {
+    assert!(!read.is_empty() && !reference_window.is_empty(), "sequences must be non-empty");
+    let n = read.len();
+    let m = reference_window.len();
+    let band = band.max(n.abs_diff(m) + 1);
+    let inf = usize::MAX / 2;
+    // DP over full matrix but skipping cells outside the band. Matrix is
+    // small (reads are a few kb) so the simple O(n*m) layout is fine.
+    let mut dp = vec![inf; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for j in 0..=m {
+        dp[idx(0, j)] = j;
+    }
+    for i in 0..=n {
+        dp[idx(i, 0)] = i;
+    }
+    for i in 1..=n {
+        let centre = i * m / n;
+        let lo = centre.saturating_sub(band).max(1);
+        let hi = (centre + band).min(m);
+        for j in lo..=hi {
+            let sub = dp[idx(i - 1, j - 1)] + usize::from(read[i - 1] != reference_window[j - 1]);
+            let del = dp[idx(i, j - 1)].saturating_add(1);
+            let ins = dp[idx(i - 1, j)].saturating_add(1);
+            dp[idx(i, j)] = sub.min(del).min(ins);
+        }
+    }
+    // Traceback.
+    let mut aligned: Vec<Option<sf_genome::Base>> = vec![None; m];
+    let mut i = n;
+    let mut j = m;
+    while i > 0 && j > 0 {
+        let here = dp[idx(i, j)];
+        let sub = dp[idx(i - 1, j - 1)];
+        let del = dp[idx(i, j - 1)];
+        let ins = dp[idx(i - 1, j)];
+        if here == sub + usize::from(read[i - 1] != reference_window[j - 1]) && sub <= del && sub <= ins {
+            aligned[j - 1] = Some(read[i - 1]);
+            i -= 1;
+            j -= 1;
+        } else if del != inf && here == del + 1 {
+            aligned[j - 1] = None;
+            j -= 1;
+        } else {
+            i -= 1;
+        }
+    }
+    (dp[idx(n, m)], aligned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::{human_like_background, random_genome};
+    use sf_genome::mutate::random_substitutions;
+
+    fn genome() -> Sequence {
+        random_genome(42, 30_000)
+    }
+
+    #[test]
+    fn exact_fragments_map_to_their_origin() {
+        let genome = genome();
+        let mapper = Mapper::new(&genome, MapperConfig::default());
+        for (start, end) in [(0, 2_000), (10_000, 13_000), (27_000, 30_000)] {
+            let mapping = mapper.map(&genome.subsequence(start, end)).expect("fragment maps");
+            assert_eq!(mapping.strand, MappingStrand::Forward);
+            assert!(mapping.reference_start.abs_diff(start) < 100, "start {}", mapping.reference_start);
+            assert!(mapping.reference_end.abs_diff(end) < 100);
+        }
+    }
+
+    #[test]
+    fn reverse_strand_fragments_map() {
+        let genome = genome();
+        let mapper = Mapper::new(&genome, MapperConfig::default());
+        let fragment = genome.subsequence(5_000, 8_000).reverse_complement();
+        let mapping = mapper.map(&fragment).expect("reverse fragment maps");
+        assert_eq!(mapping.strand, MappingStrand::Reverse);
+        assert!(mapping.reference_start.abs_diff(5_000) < 150);
+    }
+
+    #[test]
+    fn mutated_fragments_still_map() {
+        // ~5 % substitutions: plenty of minimizers survive.
+        let genome = genome();
+        let mapper = Mapper::new(&genome, MapperConfig::default());
+        let fragment = genome.subsequence(12_000, 16_000);
+        let noisy = random_substitutions(&fragment, 200, 9);
+        let mapping = mapper.map(&noisy).expect("noisy fragment maps");
+        assert!(mapping.reference_start.abs_diff(12_000) < 200);
+    }
+
+    #[test]
+    fn unrelated_reads_do_not_map() {
+        let genome = genome();
+        let mapper = Mapper::new(&genome, MapperConfig::default());
+        let background = human_like_background(7, 100_000);
+        let mut mapped = 0;
+        for start in (0..20).map(|i| i * 4_000) {
+            let read = background.subsequence(start, start + 3_000);
+            if mapper.is_target(&read) {
+                mapped += 1;
+            }
+        }
+        assert!(mapped <= 1, "{mapped} of 20 background reads mapped");
+    }
+
+    #[test]
+    fn classification_separates_target_from_background() {
+        let genome = genome();
+        let mapper = Mapper::new(&genome, MapperConfig::default());
+        assert!(mapper.is_target(&genome.subsequence(1_000, 3_500)));
+        assert!(!mapper.is_target(&random_genome(99, 2_500)));
+    }
+
+    #[test]
+    fn chaining_rejects_scattered_anchors() {
+        // Anchors on wildly different diagonals cannot form a long chain.
+        let anchors = vec![(10, 5_000), (20, 100), (30, 9_000), (40, 200)];
+        let chain = chain_anchors(&anchors, 500);
+        assert!(chain.len() <= 2);
+    }
+
+    #[test]
+    fn banded_alignment_of_identical_sequences_is_zero() {
+        let genome = random_genome(3, 500);
+        let (distance, aligned) = banded_align(&genome, &genome, 32);
+        assert_eq!(distance, 0);
+        assert_eq!(aligned.len(), 500);
+        for (j, base) in aligned.iter().enumerate() {
+            assert_eq!(*base, Some(genome[j]));
+        }
+    }
+
+    #[test]
+    fn banded_alignment_counts_substitutions() {
+        let reference = random_genome(4, 400);
+        let read = random_substitutions(&reference, 10, 5);
+        let (distance, aligned) = banded_align(&read, &reference, 32);
+        // Edit distance is at most the number of substitutions (occasionally
+        // an indel pairing is one edit cheaper) and close to it.
+        assert!((7..=10).contains(&distance), "distance {distance}");
+        let mismatches = aligned
+            .iter()
+            .enumerate()
+            .filter(|(j, b)| **b != Some(reference[*j]))
+            .count();
+        assert!((7..=13).contains(&mismatches), "mismatches {mismatches}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn banded_alignment_rejects_empty_input() {
+        let genome = random_genome(5, 10);
+        let _ = banded_align(&Sequence::new(), &genome, 8);
+    }
+}

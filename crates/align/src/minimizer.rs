@@ -1,0 +1,206 @@
+//! Minimizer extraction and indexing (the minimap2-style seeding stage).
+//!
+//! A minimizer is the smallest-hashing k-mer in every window of `w`
+//! consecutive k-mers. Indexing only minimizers shrinks the seed table by
+//! ~`2/(w+1)` while preserving the ability to find long exact matches.
+
+use sf_genome::Sequence;
+use std::collections::HashMap;
+
+/// A single minimizer occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Minimizer {
+    /// Invertible hash of the k-mer.
+    pub hash: u64,
+    /// Position of the k-mer's first base in the sequence.
+    pub position: usize,
+}
+
+/// Parameters of the minimizer scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MinimizerParams {
+    /// k-mer length.
+    pub k: usize,
+    /// Window length in k-mers.
+    pub w: usize,
+}
+
+impl Default for MinimizerParams {
+    /// minimap2's map-ont preset uses k=15, w=10; we default to a slightly
+    /// smaller k because the HMM basecaller's error rate is higher than
+    /// Guppy's.
+    fn default() -> Self {
+        MinimizerParams { k: 13, w: 8 }
+    }
+}
+
+/// 64-bit finalizer from MurmurHash3, used as an invertible k-mer hash.
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51afd7ed558ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ceb9fe1a85ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Extracts the minimizers of a sequence.
+///
+/// Returns an empty vector when the sequence is shorter than `k + w - 1`.
+pub fn minimizers(seq: &Sequence, params: MinimizerParams) -> Vec<Minimizer> {
+    let k = params.k;
+    let w = params.w.max(1);
+    if seq.len() < k {
+        return Vec::new();
+    }
+    let hashes: Vec<u64> = seq.kmer_ranks(k).map(|r| splitmix(r as u64)).collect();
+    let mut out: Vec<Minimizer> = Vec::new();
+    if hashes.len() < w {
+        // Degenerate: one window covering everything.
+        if let Some((pos, &hash)) = hashes.iter().enumerate().min_by_key(|(_, &h)| h) {
+            out.push(Minimizer { hash, position: pos });
+        }
+        return out;
+    }
+    let mut last: Option<usize> = None;
+    for window_start in 0..=(hashes.len() - w) {
+        let (offset, &hash) = hashes[window_start..window_start + w]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &h)| h)
+            .expect("window is non-empty");
+        let pos = window_start + offset;
+        if last != Some(pos) {
+            out.push(Minimizer { hash, position: pos });
+            last = Some(pos);
+        }
+    }
+    out
+}
+
+/// A minimizer index over a reference sequence (forward strand only; the
+/// mapper queries both orientations of the read).
+#[derive(Debug, Clone, Default)]
+pub struct MinimizerIndex {
+    params: MinimizerParams,
+    reference_length: usize,
+    table: HashMap<u64, Vec<usize>>,
+}
+
+impl MinimizerIndex {
+    /// Builds the index for a reference sequence.
+    pub fn build(reference: &Sequence, params: MinimizerParams) -> Self {
+        let mut table: HashMap<u64, Vec<usize>> = HashMap::new();
+        for m in minimizers(reference, params) {
+            table.entry(m.hash).or_default().push(m.position);
+        }
+        MinimizerIndex {
+            params,
+            reference_length: reference.len(),
+            table,
+        }
+    }
+
+    /// The scheme parameters.
+    pub fn params(&self) -> MinimizerParams {
+        self.params
+    }
+
+    /// Length of the indexed reference.
+    pub fn reference_length(&self) -> usize {
+        self.reference_length
+    }
+
+    /// Number of distinct minimizer hashes stored.
+    pub fn distinct_minimizers(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Reference positions at which `hash` occurs.
+    pub fn lookup(&self, hash: u64) -> &[usize] {
+        self.table.get(&hash).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All `(query_position, reference_position)` anchor pairs for a query
+    /// sequence.
+    pub fn anchors(&self, query: &Sequence) -> Vec<(usize, usize)> {
+        let mut anchors = Vec::new();
+        for m in minimizers(query, self.params) {
+            for &ref_pos in self.lookup(m.hash) {
+                anchors.push((m.position, ref_pos));
+            }
+        }
+        anchors.sort_unstable();
+        anchors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::random_genome;
+
+    #[test]
+    fn minimizer_density_is_about_two_over_w_plus_one() {
+        let genome = random_genome(1, 50_000);
+        let params = MinimizerParams::default();
+        let ms = minimizers(&genome, params);
+        let density = ms.len() as f64 / genome.len() as f64;
+        let expected = 2.0 / (params.w as f64 + 1.0);
+        assert!((density - expected).abs() < 0.05, "density {density} vs {expected}");
+    }
+
+    #[test]
+    fn minimizers_are_deterministic_and_sorted() {
+        let genome = random_genome(2, 5_000);
+        let a = minimizers(&genome, MinimizerParams::default());
+        let b = minimizers(&genome, MinimizerParams::default());
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|p| p[0].position < p[1].position));
+    }
+
+    #[test]
+    fn short_sequences_are_handled() {
+        let tiny: Sequence = "ACGTACGTACGTACG".parse().unwrap();
+        let params = MinimizerParams { k: 13, w: 8 };
+        let ms = minimizers(&tiny, params);
+        assert_eq!(ms.len(), 1);
+        let empty: Sequence = "ACG".parse().unwrap();
+        assert!(minimizers(&empty, params).is_empty());
+    }
+
+    #[test]
+    fn index_finds_exact_fragment_anchors() {
+        let genome = random_genome(3, 30_000);
+        let index = MinimizerIndex::build(&genome, MinimizerParams::default());
+        let fragment = genome.subsequence(10_000, 12_000);
+        let anchors = index.anchors(&fragment);
+        assert!(!anchors.is_empty());
+        // Every anchor from an exact fragment maps at a constant diagonal.
+        let on_diagonal = anchors
+            .iter()
+            .filter(|(q, r)| *r == *q + 10_000)
+            .count();
+        assert!(on_diagonal as f64 / anchors.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn unrelated_query_has_few_anchors() {
+        let genome = random_genome(4, 30_000);
+        let other = random_genome(5, 2_000);
+        let index = MinimizerIndex::build(&genome, MinimizerParams::default());
+        let anchors = index.anchors(&other);
+        assert!(anchors.len() < 5, "spurious anchors: {}", anchors.len());
+    }
+
+    #[test]
+    fn index_statistics() {
+        let genome = random_genome(6, 20_000);
+        let index = MinimizerIndex::build(&genome, MinimizerParams::default());
+        assert_eq!(index.reference_length(), 20_000);
+        assert!(index.distinct_minimizers() > 1_000);
+        assert!(index.lookup(0xdeadbeef).is_empty() || !index.lookup(0xdeadbeef).is_empty());
+    }
+}

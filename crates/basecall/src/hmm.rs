@@ -1,0 +1,310 @@
+//! A functional basecaller: event segmentation + k-mer HMM Viterbi decoding.
+//!
+//! The paper's baseline pipeline basecalls reads with ONT's proprietary Guppy
+//! DNN. Guppy cannot be rebuilt here, so the *functional* stand-in is a
+//! classic pore-model HMM basecaller (the approach used by pre-DNN
+//! basecallers): segment the raw signal into events, then find the most
+//! likely k-mer path through the pore model with Viterbi decoding, emitting
+//! one new base per k-mer transition. Its accuracy is far below Guppy's on
+//! real noisy data, but on simulated data it provides a genuinely runnable
+//! basecall → align → variant-call baseline exercising the same pipeline
+//! structure. Throughput/latency comparisons against Guppy use the calibrated
+//! analytical model in [`crate::perf`] instead.
+
+use sf_genome::{Base, Sequence};
+use sf_pore_model::KmerModel;
+use sf_squiggle::{EventDetector, EventDetectorConfig};
+
+/// Configuration of the HMM basecaller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct BasecallerConfig {
+    /// Event segmentation parameters.
+    pub events: EventDetectorConfig,
+    /// Probability that an event does *not* advance to a new k-mer (stutter /
+    /// over-segmentation).
+    pub stay_probability: f64,
+    /// Standard deviation (in picoamperes) used in the Gaussian emission
+    /// model on top of the pore model's per-k-mer spread.
+    pub emission_sd_pa: f64,
+}
+
+impl Default for BasecallerConfig {
+    fn default() -> Self {
+        BasecallerConfig {
+            events: EventDetectorConfig::default(),
+            stay_probability: 0.3,
+            emission_sd_pa: 1.2,
+        }
+    }
+}
+
+/// The event-HMM basecaller.
+///
+/// # Examples
+///
+/// ```
+/// use sf_basecall::{Basecaller, BasecallerConfig};
+/// use sf_pore_model::KmerModel;
+///
+/// let model = KmerModel::synthetic_r94(0);
+/// let basecaller = Basecaller::new(model, BasecallerConfig::default());
+/// assert_eq!(basecaller.config().stay_probability, 0.3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Basecaller {
+    model: KmerModel,
+    config: BasecallerConfig,
+    detector: EventDetector,
+}
+
+impl Basecaller {
+    /// Creates a basecaller over the given pore model.
+    pub fn new(model: KmerModel, config: BasecallerConfig) -> Self {
+        Basecaller {
+            detector: EventDetector::new(config.events),
+            model,
+            config,
+        }
+    }
+
+    /// The basecaller configuration.
+    pub fn config(&self) -> &BasecallerConfig {
+        &self.config
+    }
+
+    /// The underlying pore model.
+    pub fn model(&self) -> &KmerModel {
+        &self.model
+    }
+
+    /// Basecalls a picoampere signal into a DNA sequence.
+    ///
+    /// Returns an empty sequence when the signal yields fewer than two
+    /// events.
+    pub fn basecall(&self, signal_pa: &[f32]) -> Sequence {
+        let events = self.detector.event_means(signal_pa);
+        self.basecall_events(&events)
+    }
+
+    /// Basecalls from pre-segmented event means (picoamperes).
+    pub fn basecall_events(&self, event_means: &[f32]) -> Sequence {
+        if event_means.len() < 2 {
+            return Sequence::new();
+        }
+        let k = self.model.k();
+        let states = self.model.len();
+        let stay_lp = self.config.stay_probability.max(1e-6).ln();
+        let step_lp = ((1.0 - self.config.stay_probability) / 4.0).max(1e-9).ln();
+        let sd = self.config.emission_sd_pa.max(0.5);
+
+        // Viterbi over k-mer states. prev[s] = best log-prob of a path ending
+        // in state s after the current event; back[e][s] = predecessor state.
+        let emission = |state: usize, observed: f32| -> f64 {
+            let level = self.model.level(state).mean_pa;
+            let z = (observed - level) as f64 / sd;
+            -0.5 * z * z
+        };
+        let mut prev: Vec<f64> = (0..states).map(|s| emission(s, event_means[0])).collect();
+        let mut back: Vec<Vec<u32>> = Vec::with_capacity(event_means.len());
+        back.push((0..states as u32).collect());
+
+        let mask = states - 1;
+        for &observation in &event_means[1..] {
+            let mut current = vec![f64::NEG_INFINITY; states];
+            let mut pointers = vec![0u32; states];
+            for (state, &score) in prev.iter().enumerate() {
+                if score == f64::NEG_INFINITY {
+                    continue;
+                }
+                // Stay in the same k-mer.
+                let stay_score = score + stay_lp;
+                if stay_score > current[state] {
+                    current[state] = stay_score;
+                    pointers[state] = state as u32;
+                }
+                // Advance by one base: new k-mer = (old << 2 | b) & mask.
+                let shifted = (state << 2) & mask;
+                let step_score = score + step_lp;
+                for b in 0..4 {
+                    let next = shifted | b;
+                    if step_score > current[next] {
+                        current[next] = step_score;
+                        pointers[next] = state as u32;
+                    }
+                }
+            }
+            for (state, value) in current.iter_mut().enumerate() {
+                if *value != f64::NEG_INFINITY {
+                    *value += emission(state, observation);
+                }
+            }
+            back.push(pointers);
+            prev = current;
+        }
+
+        // Backtrack the best path.
+        let mut state = prev
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(s, _)| s)
+            .unwrap_or(0);
+        let mut path = vec![state; event_means.len()];
+        for e in (1..event_means.len()).rev() {
+            state = back[e][state] as usize;
+            path[e - 1] = state;
+        }
+
+        // Emit the first k-mer in full, then one base per k-mer transition.
+        let mut bases: Vec<Base> = Vec::with_capacity(path.len() + k);
+        let first = path[0];
+        for i in 0..k {
+            let shift = 2 * (k - 1 - i);
+            bases.push(Base::from_code(((first >> shift) & 0b11) as u8));
+        }
+        for pair in path.windows(2) {
+            if pair[1] != pair[0] {
+                bases.push(Base::from_code((pair[1] & 0b11) as u8));
+            }
+        }
+        Sequence::from_bases(bases)
+    }
+
+    /// Rough per-read basecall identity: the fraction of the true fragment's
+    /// k-mers that also appear in the basecalled sequence. This is a cheap
+    /// alignment-free proxy adequate for comparing configurations.
+    pub fn kmer_identity(&self, called: &Sequence, truth: &Sequence) -> f64 {
+        let k = 8.min(self.model.k() + 2);
+        if truth.len() < k || called.len() < k {
+            return 0.0;
+        }
+        let truth_kmers: std::collections::HashSet<usize> = truth.kmer_ranks(k).collect();
+        let called_kmers: Vec<usize> = called.kmer_ranks(k).collect();
+        if called_kmers.is_empty() {
+            return 0.0;
+        }
+        let hits = called_kmers.iter().filter(|r| truth_kmers.contains(r)).count();
+        hits as f64 / called_kmers.len() as f64
+    }
+
+    /// Number of multiply–accumulate-equivalent operations per 2000-sample
+    /// chunk, used by the §4.8 operation-count comparison. The HMM evaluates
+    /// every state for every event (≈200 events per chunk).
+    pub fn operations_per_chunk(&self) -> u64 {
+        let events_per_chunk = 200u64;
+        events_per_chunk * self.model.len() as u64 * 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::random_genome;
+
+    /// Expands the expected signal of a fragment into clean, fixed-dwell
+    /// events (the easiest possible input for the basecaller).
+    fn clean_events(model: &KmerModel, fragment: &Sequence) -> Vec<f32> {
+        model.expected_signal(fragment)
+    }
+
+    fn setup() -> (KmerModel, Basecaller) {
+        // A small k keeps the Viterbi state space tiny and the test fast.
+        let model = KmerModel::synthetic(4, 1);
+        let basecaller = Basecaller::new(model.clone(), BasecallerConfig::default());
+        (model, basecaller)
+    }
+
+    #[test]
+    fn clean_signal_is_basecalled_accurately() {
+        let (model, basecaller) = setup();
+        let fragment = random_genome(5, 300);
+        let events = clean_events(&model, &fragment);
+        let called = basecaller.basecall_events(&events);
+        // Length should be close to the truth.
+        assert!(
+            (called.len() as i64 - fragment.len() as i64).unsigned_abs() < 60,
+            "called {} vs truth {}",
+            called.len(),
+            fragment.len()
+        );
+        let identity = basecaller.kmer_identity(&called, &fragment);
+        assert!(identity > 0.55, "identity {identity}");
+    }
+
+    #[test]
+    fn stuttered_events_are_collapsed() {
+        let (model, basecaller) = setup();
+        let fragment = random_genome(6, 150);
+        // Each event duplicated: the stay transition should absorb them.
+        let events: Vec<f32> = clean_events(&model, &fragment)
+            .into_iter()
+            .flat_map(|e| [e, e])
+            .collect();
+        let called = basecaller.basecall_events(&events);
+        // Stays absorb most (not all) of the duplicated events.
+        assert!(
+            called.len() <= fragment.len() * 2 && called.len() + 60 >= fragment.len(),
+            "called {} vs truth {}",
+            called.len(),
+            fragment.len()
+        );
+        let identity = basecaller.kmer_identity(&called, &fragment);
+        assert!(identity > 0.4, "identity {identity}");
+    }
+
+    #[test]
+    fn noisy_signal_still_mostly_correct() {
+        let (model, basecaller) = setup();
+        let fragment = random_genome(7, 200);
+        // Add deterministic pseudo-noise to each event mean.
+        let events: Vec<f32> = clean_events(&model, &fragment)
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| e + ((i * 2654435761) % 100) as f32 / 100.0 * 2.0 - 1.0)
+            .collect();
+        let called = basecaller.basecall_events(&events);
+        let identity = basecaller.kmer_identity(&called, &fragment);
+        assert!(identity > 0.35, "identity {identity}");
+    }
+
+    #[test]
+    fn random_garbage_has_low_identity_to_unrelated_truth() {
+        let (_, basecaller) = setup();
+        let truth = random_genome(8, 200);
+        let unrelated = random_genome(9, 200);
+        let identity = basecaller.kmer_identity(&unrelated, &truth);
+        assert!(identity < 0.1, "identity {identity}");
+    }
+
+    #[test]
+    fn short_signals_give_empty_output() {
+        let (_, basecaller) = setup();
+        assert!(basecaller.basecall_events(&[]).is_empty());
+        assert!(basecaller.basecall_events(&[90.0]).is_empty());
+        assert!(basecaller.basecall(&[]).is_empty());
+    }
+
+    #[test]
+    fn full_signal_path_runs_end_to_end() {
+        let (model, basecaller) = setup();
+        let fragment = random_genome(10, 100);
+        // 10 samples per event with a ±0.2 ripple.
+        let signal: Vec<f32> = model
+            .expected_signal(&fragment)
+            .into_iter()
+            .flat_map(|level| (0..10).map(move |j| level + if j % 2 == 0 { 0.2 } else { -0.2 }))
+            .collect();
+        let called = basecaller.basecall(&signal);
+        assert!(!called.is_empty());
+        let identity = basecaller.kmer_identity(&called, &fragment);
+        assert!(identity > 0.35, "identity {identity}");
+    }
+
+    #[test]
+    fn operation_count_scales_with_state_space() {
+        let small = Basecaller::new(KmerModel::synthetic(4, 1), BasecallerConfig::default());
+        let large = Basecaller::new(KmerModel::synthetic(6, 1), BasecallerConfig::default());
+        assert!(large.operations_per_chunk() > small.operations_per_chunk());
+    }
+}

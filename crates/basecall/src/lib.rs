@@ -1,0 +1,30 @@
+//! Basecalling baselines for the SquiggleFilter reproduction.
+//!
+//! The conventional Read Until pipeline basecalls every read prefix with a
+//! DNN (Guppy) before aligning it; the paper shows this is the compute
+//! bottleneck (96 % of pipeline time). This crate provides:
+//!
+//! * [`hmm`] — a runnable event-HMM basecaller (the functional stand-in for
+//!   Guppy on simulated data),
+//! * [`perf`] — calibrated throughput/latency models of Guppy and Guppy-lite
+//!   on the Titan XP and Jetson Xavier GPUs, used by the Figure 5, 16 and 21
+//!   reproductions.
+//!
+//! # Example
+//!
+//! ```
+//! use sf_basecall::{BasecallMode, BasecallerKind, GpuBasecallerModel, Platform};
+//!
+//! let jetson = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::JetsonXavier);
+//! // The edge GPU cannot keep up with a MinION in Read Until mode.
+//! assert!(jetson.minion_coverage(BasecallMode::ReadUntil) < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hmm;
+pub mod perf;
+
+pub use hmm::{Basecaller, BasecallerConfig};
+pub use perf::{BasecallMode, BasecallerKind, GpuBasecallerModel, OperationCounts, Platform};

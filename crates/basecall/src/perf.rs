@@ -1,0 +1,244 @@
+//! Calibrated performance models of GPU basecalling (paper §6, §7.2,
+//! Table 3, Figure 16).
+//!
+//! Guppy and the GPUs it runs on are not available in this environment, so
+//! throughput and latency are modelled from the paper's own measurements:
+//!
+//! * Guppy-lite on a Titan XP basecalls just fast enough to keep up with a
+//!   MinION's maximum output (≈230 kbases/s) in offline (large-batch) mode.
+//! * Online Read Until operation (2000-sample chunks) reduces throughput by
+//!   4.05× for Guppy-lite and 2.85× for Guppy.
+//! * A Jetson Xavier reaches ≈95,700 bases/s with Guppy-lite in Read Until
+//!   mode — only 41.5 % of the MinION's output.
+//! * Per-chunk classification latency is ≈149 ms for Guppy-lite and over one
+//!   second for Guppy.
+
+use sf_hw::MINION_MAX_BASES_PER_S;
+
+/// Which basecaller neural network is modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum BasecallerKind {
+    /// High-accuracy Guppy (`dna_r9.4.1_450bps_hac`).
+    Guppy,
+    /// Fast Guppy (`dna_r9.4.1_450bps_fast`), called Guppy-lite in the paper.
+    GuppyLite,
+}
+
+/// Which compute platform the basecaller runs on (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Platform {
+    /// NVIDIA Titan XP, 3840 CUDA cores @ 1582 MHz, 250 W (server class).
+    TitanXp,
+    /// NVIDIA Jetson AGX Xavier, 512 Volta cores @ 1377 MHz, 30 W (edge).
+    JetsonXavier,
+}
+
+impl Platform {
+    /// Peak basecalling throughput of the platform relative to the Titan XP.
+    /// The paper estimates the Jetson's Read Until throughput from the
+    /// relative peak throughputs of the two GPUs, landing at ≈95,700 bases/s
+    /// versus the Titan's ≈230,400; that ratio (≈0.4) is used here.
+    pub fn relative_throughput(self) -> f64 {
+        match self {
+            Platform::TitanXp => 1.0,
+            Platform::JetsonXavier => 0.40,
+        }
+    }
+
+    /// Board power in watts.
+    pub fn power_w(self) -> f64 {
+        match self {
+            Platform::TitanXp => 250.0,
+            Platform::JetsonXavier => 30.0,
+        }
+    }
+
+    /// Table 3 description row: `(model, cores, clock MHz)`.
+    pub fn spec(self) -> (&'static str, u32, u32) {
+        match self {
+            Platform::TitanXp => ("Titan XP", 3_840, 1_582),
+            Platform::JetsonXavier => ("Jetson AGX Xavier", 512, 1_377),
+        }
+    }
+}
+
+/// Operating mode of the basecaller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum BasecallMode {
+    /// Large batches of whole reads (highest throughput).
+    Offline,
+    /// 2000-sample chunks with latency constraints, as required for Read
+    /// Until.
+    ReadUntil,
+}
+
+/// Analytical performance model of a GPU basecaller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct GpuBasecallerModel {
+    /// Which network.
+    pub kind: BasecallerKind,
+    /// Which GPU.
+    pub platform: Platform,
+}
+
+impl GpuBasecallerModel {
+    /// Creates a model for the given basecaller/platform pair.
+    pub fn new(kind: BasecallerKind, platform: Platform) -> Self {
+        GpuBasecallerModel { kind, platform }
+    }
+
+    /// Offline (large-batch) basecalling throughput on the Titan XP in
+    /// bases/second. Calibrated so Guppy-lite in *Read Until* mode just keeps
+    /// up with a MinION (the paper's observation), i.e. offline throughput is
+    /// the Read Until figure times the chunking penalty.
+    fn titan_offline_bases_per_s(kind: BasecallerKind) -> f64 {
+        match kind {
+            BasecallerKind::GuppyLite => 1.05 * MINION_MAX_BASES_PER_S * 4.05,
+            // Guppy does ≈17× more work per base (2412 vs 141 Mops).
+            BasecallerKind::Guppy => 1.05 * MINION_MAX_BASES_PER_S * 4.05 * (141.0 / 2_412.0),
+        }
+    }
+
+    /// The Read Until (small-chunk) throughput penalty measured in the paper.
+    fn read_until_penalty(kind: BasecallerKind) -> f64 {
+        match kind {
+            BasecallerKind::GuppyLite => 4.05,
+            BasecallerKind::Guppy => 2.85,
+        }
+    }
+
+    /// Basecalling throughput in bases per second for the given mode.
+    pub fn throughput_bases_per_s(&self, mode: BasecallMode) -> f64 {
+        let offline = Self::titan_offline_bases_per_s(self.kind) * self.platform.relative_throughput();
+        match mode {
+            BasecallMode::Offline => offline,
+            BasecallMode::ReadUntil => offline / Self::read_until_penalty(self.kind),
+        }
+    }
+
+    /// Basecalling throughput in signal samples per second (≈8.9 samples per
+    /// base).
+    pub fn throughput_samples_per_s(&self, mode: BasecallMode) -> f64 {
+        self.throughput_bases_per_s(mode) * (sf_hw::MINION_MAX_SAMPLES_PER_S / MINION_MAX_BASES_PER_S)
+    }
+
+    /// Per-chunk (2000-sample) classification latency in milliseconds in Read
+    /// Until mode.
+    pub fn read_until_latency_ms(&self) -> f64 {
+        let titan_latency = match self.kind {
+            BasecallerKind::GuppyLite => 149.0,
+            BasecallerKind::Guppy => 1_250.0,
+        };
+        titan_latency / self.platform.relative_throughput().min(1.0)
+    }
+
+    /// Number of additional bases a pore sequences while waiting for the
+    /// classification decision (450 bases/s translocation).
+    pub fn wasted_bases_per_decision(&self) -> f64 {
+        self.read_until_latency_ms() / 1_000.0 * 450.0
+    }
+
+    /// Fraction of a MinION's maximum output this configuration can keep up
+    /// with in Read Until mode (capped at 1.0 per-pore usefulness).
+    pub fn minion_coverage(&self, mode: BasecallMode) -> f64 {
+        self.throughput_bases_per_s(mode) / MINION_MAX_BASES_PER_S
+    }
+}
+
+/// DNN / sDTW operation counts per 2000-sample chunk from §4.8, used by the
+/// compute-bottleneck analysis (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct OperationCounts {
+    /// Millions of operations per classified read for Guppy.
+    pub guppy_mops: f64,
+    /// Millions of operations for Guppy-lite.
+    pub guppy_lite_mops: f64,
+    /// Millions of operations for the sDTW filter (SARS-CoV-2 reference).
+    pub sdtw_mops: f64,
+}
+
+impl Default for OperationCounts {
+    fn default() -> Self {
+        OperationCounts {
+            guppy_mops: 2_412.0,
+            guppy_lite_mops: 141.0,
+            sdtw_mops: 1_400.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guppy_lite_on_titan_barely_keeps_up_with_minion() {
+        // Read Until mode on the Titan XP just covers the MinION's output.
+        let model = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp);
+        let coverage = model.minion_coverage(BasecallMode::ReadUntil);
+        assert!((1.0..1.3).contains(&coverage), "coverage {coverage}");
+    }
+
+    #[test]
+    fn jetson_covers_only_41_percent_in_read_until_mode() {
+        // The paper: ~95,700 bases/s ≈ 41.5 % of the MinION's 230,400 b/s.
+        let model = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::JetsonXavier);
+        let bases = model.throughput_bases_per_s(BasecallMode::ReadUntil);
+        assert!((88_000.0..105_000.0).contains(&bases), "read-until bases/s {bases}");
+        let coverage = model.minion_coverage(BasecallMode::ReadUntil);
+        assert!((0.35..0.5).contains(&coverage), "coverage {coverage}");
+    }
+
+    #[test]
+    fn read_until_mode_is_slower_than_offline() {
+        for kind in [BasecallerKind::Guppy, BasecallerKind::GuppyLite] {
+            let model = GpuBasecallerModel::new(kind, Platform::TitanXp);
+            let offline = model.throughput_bases_per_s(BasecallMode::Offline);
+            let online = model.throughput_bases_per_s(BasecallMode::ReadUntil);
+            assert!(online < offline);
+            assert!(offline / online > 2.5 && offline / online < 4.5);
+        }
+    }
+
+    #[test]
+    fn guppy_is_slower_but_latency_dominates_for_both() {
+        let lite = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp);
+        let full = GpuBasecallerModel::new(BasecallerKind::Guppy, Platform::TitanXp);
+        assert!(full.throughput_bases_per_s(BasecallMode::Offline) < lite.throughput_bases_per_s(BasecallMode::Offline));
+        // Paper: 149 ms for Guppy-lite, > 1 s for Guppy.
+        assert!((lite.read_until_latency_ms() - 149.0).abs() < 1.0);
+        assert!(full.read_until_latency_ms() > 1_000.0);
+        // Guppy-lite wastes ≈60-70 bases per decision; Guppy > 400.
+        assert!((50.0..80.0).contains(&lite.wasted_bases_per_decision()));
+        assert!(full.wasted_bases_per_decision() > 400.0);
+    }
+
+    #[test]
+    fn platform_specs_match_table3() {
+        assert_eq!(Platform::TitanXp.spec(), ("Titan XP", 3_840, 1_582));
+        assert_eq!(Platform::JetsonXavier.spec(), ("Jetson AGX Xavier", 512, 1_377));
+        assert!((0.3..0.5).contains(&Platform::JetsonXavier.relative_throughput()));
+        assert!(Platform::TitanXp.power_w() > Platform::JetsonXavier.power_w());
+    }
+
+    #[test]
+    fn operation_counts_match_section_4_8() {
+        let ops = OperationCounts::default();
+        assert!(ops.guppy_mops > ops.sdtw_mops);
+        assert!(ops.sdtw_mops > ops.guppy_lite_mops);
+        assert_eq!(ops.guppy_lite_mops, 141.0);
+    }
+
+    #[test]
+    fn samples_throughput_tracks_bases_throughput() {
+        let model = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp);
+        let bases = model.throughput_bases_per_s(BasecallMode::ReadUntil);
+        let samples = model.throughput_samples_per_s(BasecallMode::ReadUntil);
+        assert!((samples / bases - 8.9).abs() < 0.2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion bench for the minimizer mapper and FM-index.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sf_align::{FmIndex, Mapper, MapperConfig};
+use sf_genome::random::random_genome;
+
+fn bench_aligner(c: &mut Criterion) {
+    let genome = random_genome(5, 48_000);
+    let mapper = Mapper::new(&genome, MapperConfig::default());
+    let target_read = genome.subsequence(10_000, 13_000);
+    let background = random_genome(9, 3_000);
+
+    let mut group = c.benchmark_group("aligner");
+    group.sample_size(20);
+    group.bench_function("map_target_read_3kb", |b| {
+        b.iter(|| black_box(mapper.map(black_box(&target_read))));
+    });
+    group.bench_function("map_background_read_3kb", |b| {
+        b.iter(|| black_box(mapper.map(black_box(&background))));
+    });
+    group.bench_function("index_build_48kb", |b| {
+        b.iter(|| black_box(Mapper::new(black_box(&genome), MapperConfig::default())));
+    });
+    let pattern: Vec<_> = genome.subsequence(20_000, 20_015).into_bases();
+    let fm = FmIndex::build(&genome);
+    group.bench_function("fm_index_locate_15mer", |b| {
+        b.iter(|| black_box(fm.locate(black_box(&pattern))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aligner);
+criterion_main!(benches);

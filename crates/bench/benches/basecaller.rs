@@ -1,0 +1,26 @@
+//! Criterion bench for the HMM basecaller baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use sf_basecall::{Basecaller, BasecallerConfig};
+use sf_genome::random::random_genome;
+use sf_pore_model::KmerModel;
+
+fn bench_basecaller(c: &mut Criterion) {
+    // k=4 keeps the Viterbi state space small enough for a quick bench.
+    let model = KmerModel::synthetic(4, 1);
+    let basecaller = Basecaller::new(model.clone(), BasecallerConfig::default());
+    let fragment = random_genome(3, 250);
+    let events = model.expected_signal(&fragment);
+
+    let mut group = c.benchmark_group("basecaller");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+    group.bench_function("hmm_viterbi_250b", |b| {
+        b.iter(|| black_box(basecaller.basecall_events(black_box(&events))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_basecaller);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the cycle-level systolic-array simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use sf_hw::SystolicArray;
+use sf_sdtw::SdtwConfig;
+
+fn pseudo_random_i8(len: usize, seed: u32) -> Vec<i8> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            ((x >> 24) as i32 - 128) as i8
+        })
+        .collect()
+}
+
+fn bench_systolic(c: &mut Criterion) {
+    let reference = pseudo_random_i8(5_000, 3);
+    let mut group = c.benchmark_group("hardware_sim");
+    group.sample_size(10);
+    for pes in [128usize, 512] {
+        let query = pseudo_random_i8(pes, 4);
+        group.throughput(Throughput::Elements((pes * reference.len()) as u64));
+        group.bench_with_input(BenchmarkId::new("systolic_array", pes), &pes, |b, _| {
+            let array = SystolicArray::new(SdtwConfig::hardware(), pes);
+            b.iter(|| black_box(array.classify(black_box(&query), black_box(&reference))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systolic);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the software and hardware-model normalizers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use sf_hw::HardwareNormalizer;
+use sf_squiggle::Normalizer;
+
+fn bench_normalizer(c: &mut Criterion) {
+    let raw: Vec<u16> = (0..10_000).map(|i| 450 + ((i * 31) % 140) as u16).collect();
+    let mut group = c.benchmark_group("normalizer");
+    group.throughput(Throughput::Elements(raw.len() as u64));
+    group.sample_size(20);
+    group.bench_function("software_mean_mad", |b| {
+        let normalizer = Normalizer::default();
+        b.iter(|| black_box(normalizer.normalize_raw_quantized(black_box(&raw))));
+    });
+    group.bench_function("hardware_fixed_point", |b| {
+        let normalizer = HardwareNormalizer::new(2_000);
+        b.iter(|| black_box(normalizer.normalize(black_box(&raw))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalizer);
+criterion_main!(benches);

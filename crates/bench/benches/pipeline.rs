@@ -1,0 +1,49 @@
+//! Criterion bench for end-to-end read classification: raw squiggle in,
+//! Read Until verdict out (normalization + sDTW against a viral reference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use sf_pore_model::KmerModel;
+use sf_sdtw::{FilterConfig, MultiStageConfig, MultiStageFilter, SquiggleFilter};
+use sf_pore_model::ReferenceSquiggle;
+use sf_sim::DatasetBuilder;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let dataset = DatasetBuilder::covid(71)
+        .target_reads(4)
+        .background_reads(4)
+        .background_length(120_000)
+        .build();
+    let model = KmerModel::synthetic_r94(0);
+    let reference = ReferenceSquiggle::from_genome(&model, &dataset.target_genome);
+    let squiggles: Vec<_> = dataset.reads.iter().map(|r| r.squiggle.clone()).collect();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(squiggles.len() as u64));
+    for prefix in [1_000usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("single_stage_classify", prefix), &prefix, |b, &prefix| {
+            let filter = SquiggleFilter::new(
+                &reference,
+                FilterConfig::hardware(50_000.0).with_prefix_samples(prefix),
+            );
+            b.iter(|| {
+                for squiggle in &squiggles {
+                    black_box(filter.classify(black_box(squiggle)));
+                }
+            });
+        });
+    }
+    group.bench_function("two_stage_classify", |b| {
+        let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(80_000.0, 40_000.0));
+        b.iter(|| {
+            for squiggle in &squiggles {
+                black_box(filter.classify(black_box(squiggle)));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches for the sDTW kernels: cell-update throughput of the
+//! vanilla and hardware-friendly variants (the §4.8 compute comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use sf_sdtw::{FloatSdtw, IntSdtw, SdtwConfig};
+
+fn pseudo_random_i8(len: usize, seed: u32) -> Vec<i8> {
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            ((x >> 24) as i32 - 128) as i8
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let reference = pseudo_random_i8(20_000, 1);
+    let reference_f: Vec<f32> = reference.iter().map(|&x| x as f32).collect();
+    let query = pseudo_random_i8(500, 2);
+    let query_f: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+    let cells = (reference.len() * query.len()) as u64;
+
+    let mut group = c.benchmark_group("sdtw_kernels");
+    group.throughput(Throughput::Elements(cells));
+    group.sample_size(10);
+    for (name, config) in [
+        ("vanilla", SdtwConfig::vanilla()),
+        ("hardware", SdtwConfig::hardware()),
+        ("hardware_no_bonus", SdtwConfig::hardware_without_bonus()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("int8", name), &config, |b, &config| {
+            let aligner = IntSdtw::new(config, reference.clone());
+            b.iter(|| black_box(aligner.align(black_box(&query))));
+        });
+        group.bench_with_input(BenchmarkId::new("float32", name), &config, |b, &config| {
+            let aligner = FloatSdtw::new(config, reference_f.clone());
+            b.iter(|| black_box(aligner.align(black_box(&query_f))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 5: compute-time breakdown of the conventional Read Until assembly
+//! pipeline at 1% and 0.1% viral fractions.
+
+use sf_bench::print_header;
+use sf_readuntil::compute_breakdown;
+
+fn main() {
+    print_header("Figure 5", "Pipeline compute breakdown (basecalling dominates)");
+    println!("{:<16} {:>14} {:>12} {:>16}", "viral fraction", "basecalling", "alignment", "variant calling");
+    for fraction in [0.01, 0.001] {
+        let b = compute_breakdown(fraction);
+        println!(
+            "{:<16} {:>13.1}% {:>11.1}% {:>15.2}%",
+            format!("{:.1}%", fraction * 100.0),
+            b.basecalling * 100.0,
+            b.alignment * 100.0,
+            b.variant_calling * 100.0
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 16: Read Until classification latency and throughput of Guppy,
+//! Guppy-lite and SquiggleFilter.
+
+use sf_basecall::{BasecallMode, BasecallerKind, GpuBasecallerModel, Platform};
+use sf_bench::print_header;
+use sf_hw::{AcceleratorModel, MINION_MAX_SAMPLES_PER_S};
+
+fn main() {
+    print_header("Figure 16", "Classification latency and throughput during Read Until");
+    println!("a) latency per 2000-sample decision:");
+    let guppy = GpuBasecallerModel::new(BasecallerKind::Guppy, Platform::TitanXp);
+    let lite = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp);
+    let sf = AcceleratorModel::default().lambda_design_point();
+    println!("   {:<28} {:>12.2} ms", "Guppy (Titan XP)", guppy.read_until_latency_ms());
+    println!("   {:<28} {:>12.2} ms", "Guppy-lite (Titan XP)", lite.read_until_latency_ms());
+    println!("   {:<28} {:>12.3} ms", "SquiggleFilter (lambda)", sf.latency_ms);
+    println!(
+        "   latency ratio Guppy-lite / SquiggleFilter = {:.0}x",
+        lite.read_until_latency_ms() / sf.latency_ms
+    );
+
+    println!("\nb) classification throughput (signal samples/s):");
+    for (name, model) in [
+        ("Guppy (Titan XP)", GpuBasecallerModel::new(BasecallerKind::Guppy, Platform::TitanXp)),
+        ("Guppy-lite (Jetson Xavier)", GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::JetsonXavier)),
+        ("Guppy-lite (Titan XP)", GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp)),
+    ] {
+        println!(
+            "   {:<28} {:>12.2} M samples/s",
+            name,
+            model.throughput_samples_per_s(BasecallMode::ReadUntil) / 1e6
+        );
+    }
+    println!(
+        "   {:<28} {:>12.2} M samples/s",
+        "SquiggleFilter (5 tiles)",
+        sf.total_throughput_samples_per_s / 1e6
+    );
+    println!(
+        "   MinION max output            {:>12.2} M samples/s; GridION {:>6.2} M samples/s",
+        MINION_MAX_SAMPLES_PER_S / 1e6,
+        5.0 * MINION_MAX_SAMPLES_PER_S / 1e6
+    );
+    println!(
+        "   throughput ratio SquiggleFilter / Guppy-lite(Titan) = {:.0}x",
+        sf.total_throughput_samples_per_s
+            / GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp)
+                .throughput_samples_per_s(BasecallMode::ReadUntil)
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 18: maximal F-score for each sDTW algorithm modification
+//! (the design-choice ablation).
+
+use sf_bench::{print_header, score_dataset};
+use sf_metrics::roc_curve;
+use sf_sdtw::{DistanceMetric, FilterConfig, FilterPrecision, SdtwConfig};
+use sf_sim::DatasetBuilder;
+
+fn main() {
+    print_header("Figure 18", "Ablation: max F-score per sDTW modification");
+    let dataset = DatasetBuilder::lambda(41)
+        .target_reads(100)
+        .background_reads(100)
+        .background_length(300_000)
+        .build();
+
+    let variants: Vec<(&str, FilterPrecision, SdtwConfig)> = vec![
+        ("vanilla sDTW (float, squared)", FilterPrecision::Float32, SdtwConfig::vanilla()),
+        (
+            "absolute difference (float)",
+            FilterPrecision::Float32,
+            SdtwConfig::vanilla().with_distance(DistanceMetric::Absolute),
+        ),
+        ("integer normalization (int8)", FilterPrecision::Int8, SdtwConfig::vanilla()),
+        (
+            "no reference deletions (float)",
+            FilterPrecision::Float32,
+            SdtwConfig::vanilla().with_reference_deletions(false),
+        ),
+        ("all three (int8, abs, no-del)", FilterPrecision::Int8, SdtwConfig::hardware_without_bonus()),
+        ("all three + match bonus", FilterPrecision::Int8, SdtwConfig::hardware()),
+    ];
+
+    println!("{:<34} {:>10} {:>10} {:>10}", "configuration", "1000", "2000", "4000");
+    for (name, precision, sdtw) in variants {
+        let mut row = format!("{name:<34}");
+        for prefix in [1_000usize, 2_000, 4_000] {
+            let config = FilterConfig {
+                sdtw,
+                precision,
+                ..FilterConfig::hardware(f64::MAX).with_prefix_samples(prefix)
+            };
+            let curve = roc_curve(&score_dataset(&dataset, config, 0));
+            row.push_str(&format!(" {:>10.3}", curve.max_f1()));
+        }
+        println!("{row}");
+    }
+}

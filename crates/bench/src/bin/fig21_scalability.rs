@@ -1,0 +1,26 @@
+//! Figure 21: fraction of pores on which Read Until remains possible as
+//! sequencer throughput grows 1-128x.
+
+use sf_bench::print_header;
+use sf_readuntil::{scalability_curve, ScalabilityClassifier};
+
+fn main() {
+    print_header("Figure 21", "Read Until coverage vs future sequencer throughput");
+    let multiples: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 100.0, 128.0];
+    let jetson = scalability_curve(ScalabilityClassifier::GuppyLiteJetson, &multiples, 96_994);
+    let titan = scalability_curve(ScalabilityClassifier::GuppyLiteTitan, &multiples, 96_994);
+    let sf = scalability_curve(ScalabilityClassifier::SquiggleFilter, &multiples, 96_994);
+    println!(
+        "{:>12} {:>22} {:>22} {:>22}",
+        "seq. speed", "Guppy-lite (Jetson)", "Guppy-lite (Titan)", "SquiggleFilter (5 tiles)"
+    );
+    for i in 0..multiples.len() {
+        println!(
+            "{:>11}x {:>21.1}% {:>21.1}% {:>21.1}%",
+            multiples[i],
+            jetson[i].read_until_coverage * 100.0,
+            titan[i].read_until_coverage * 100.0,
+            sf[i].read_until_coverage * 100.0
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Table 4: SquiggleFilter ASIC synthesis roll-up, plus the §7.1
+//! latency/throughput design points.
+
+use sf_bench::print_header;
+use sf_hw::{AcceleratorModel, AsicModel};
+
+fn main() {
+    print_header("Table 4", "SquiggleFilter ASIC synthesis results (28 nm model)");
+    println!("{:<24} {:>12} {:>10}", "element", "area (mm^2)", "power (W)");
+    for (element, area, power) in AsicModel::default().table4_rows() {
+        println!("{element:<24} {area:>12.3} {power:>10.3}");
+    }
+    println!("\nSection 7.1 design points:");
+    let accel = AcceleratorModel::default();
+    for (name, perf) in [
+        ("SARS-CoV-2", accel.sars_cov_2_design_point()),
+        ("lambda phage", accel.lambda_design_point()),
+    ] {
+        println!(
+            "  {name:<14} latency {:.3} ms | {:>6.2} M samples/s per tile | {:>7.2} M samples/s (5 tiles) | {:>5.0}x MinION headroom",
+            perf.latency_ms,
+            perf.tile_throughput_samples_per_s / 1e6,
+            perf.total_throughput_samples_per_s / 1e6,
+            perf.minion_headroom()
+        );
+    }
+}

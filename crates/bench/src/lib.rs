@@ -1,0 +1,52 @@
+//! Shared helpers for the SquiggleFilter benchmark and figure-reproduction
+//! harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the experiment index); the Criterion benches in
+//! `benches/` measure kernel and pipeline throughput.
+
+#![warn(missing_docs)]
+
+use sf_metrics::ScoredSample;
+use sf_pore_model::KmerModel;
+use sf_sdtw::{FilterConfig, SquiggleFilter};
+use sf_sim::Dataset;
+
+/// Scores every read of a labelled dataset with a filter built from the
+/// dataset's own target genome, returning `(cost, is_target)` samples.
+pub fn score_dataset(dataset: &Dataset, config: FilterConfig, model_seed: u64) -> Vec<ScoredSample> {
+    let model = KmerModel::synthetic_r94(model_seed);
+    let filter = SquiggleFilter::from_genome(&model, &dataset.target_genome, config);
+    dataset
+        .reads
+        .iter()
+        .filter_map(|item| {
+            filter.score(&item.squiggle).map(|result| ScoredSample {
+                score: result.cost,
+                is_target: item.is_target(),
+            })
+        })
+        .collect()
+}
+
+/// Splits scored samples into `(target_costs, background_costs)`.
+pub fn split_costs(samples: &[ScoredSample]) -> (Vec<f64>, Vec<f64>) {
+    let mut target = Vec::new();
+    let mut background = Vec::new();
+    for s in samples {
+        if s.is_target {
+            target.push(s.score);
+        } else {
+            background.push(s.score);
+        }
+    }
+    (target, background)
+}
+
+/// Prints a uniform figure/table header so every binary's output is easy to
+/// collect.
+pub fn print_header(id: &str, title: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}

@@ -1,0 +1,193 @@
+//! Configuration of the subsequence-DTW kernels.
+//!
+//! The paper starts from "vanilla" sDTW (squared difference, reference
+//! deletions allowed) and applies four modifications to make it accurate and
+//! hardware friendly (§4.7):
+//!
+//! * **absolute difference** instead of squared difference (no multiplier in
+//!   the PE),
+//! * **integer normalization** — 8-bit fixed-point queries and references,
+//! * **no reference deletions** — a single query sample can no longer align
+//!   to several reference bases, removing one input of the 3-way min,
+//! * **match bonus** — a reward for matching a *new* reference base, scaled
+//!   by how many samples were aligned to the previous base (thresholded), to
+//!   decouple alignment cost from translocation rate.
+//!
+//! Every modification is an independent toggle here, which is exactly what
+//! the Figure 18 ablation sweeps.
+
+/// The per-cell distance metric between a query sample and a reference
+/// sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum DistanceMetric {
+    /// `(q - r)^2` — the textbook DTW metric (needs a multiplier).
+    Squared,
+    /// `|q - r|` — the hardware-friendly metric used by the accelerator.
+    #[default]
+    Absolute,
+}
+
+impl DistanceMetric {
+    /// Evaluates the metric on floating-point samples.
+    #[inline]
+    pub fn eval_f32(self, q: f32, r: f32) -> f32 {
+        let d = q - r;
+        match self {
+            DistanceMetric::Squared => d * d,
+            DistanceMetric::Absolute => d.abs(),
+        }
+    }
+
+    /// Evaluates the metric on 8-bit fixed-point samples, widened to `i32`.
+    #[inline]
+    pub fn eval_i8(self, q: i8, r: i8) -> i32 {
+        let d = q as i32 - r as i32;
+        match self {
+            DistanceMetric::Squared => d * d,
+            DistanceMetric::Absolute => d.abs(),
+        }
+    }
+}
+
+/// Configuration of the translocation-rate-compensating match bonus
+/// (paper §4.7, "Match Bonus").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MatchBonus {
+    /// Cost reduction granted per sample that was aligned to the previous
+    /// reference base (the paper uses 10).
+    pub bonus_per_sample: u32,
+    /// The dwell count is clamped to this value before scaling (the paper
+    /// uses 10).
+    pub dwell_cap: u32,
+}
+
+impl Default for MatchBonus {
+    fn default() -> Self {
+        MatchBonus { bonus_per_sample: 10, dwell_cap: 10 }
+    }
+}
+
+impl MatchBonus {
+    /// Bonus granted when transitioning to a new reference base after having
+    /// aligned `dwell` query samples to the previous base.
+    #[inline]
+    pub fn bonus_for_dwell(&self, dwell: u32) -> u32 {
+        self.bonus_per_sample * dwell.min(self.dwell_cap)
+    }
+}
+
+/// Full kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SdtwConfig {
+    /// Per-cell distance metric.
+    pub distance: DistanceMetric,
+    /// Whether a single query sample may align to multiple consecutive
+    /// reference bases (the `S[i][j-1]` dependency). The accelerator removes
+    /// this.
+    pub allow_reference_deletion: bool,
+    /// Optional match bonus.
+    pub match_bonus: Option<MatchBonus>,
+}
+
+impl SdtwConfig {
+    /// The textbook sDTW configuration (squared distance, reference deletions
+    /// allowed, no bonus) — the paper's software baseline.
+    pub fn vanilla() -> Self {
+        SdtwConfig {
+            distance: DistanceMetric::Squared,
+            allow_reference_deletion: true,
+            match_bonus: None,
+        }
+    }
+
+    /// The full hardware configuration: absolute difference, no reference
+    /// deletions, match bonus enabled. Combined with 8-bit quantization this
+    /// is the configuration synthesized in the accelerator.
+    pub fn hardware() -> Self {
+        SdtwConfig {
+            distance: DistanceMetric::Absolute,
+            allow_reference_deletion: false,
+            match_bonus: Some(MatchBonus::default()),
+        }
+    }
+
+    /// Hardware configuration without the match bonus (one of the Figure 18
+    /// ablation points).
+    pub fn hardware_without_bonus() -> Self {
+        SdtwConfig {
+            match_bonus: None,
+            ..Self::hardware()
+        }
+    }
+
+    /// Sets the distance metric.
+    pub fn with_distance(mut self, distance: DistanceMetric) -> Self {
+        self.distance = distance;
+        self
+    }
+
+    /// Enables or disables reference deletions.
+    pub fn with_reference_deletions(mut self, allow: bool) -> Self {
+        self.allow_reference_deletion = allow;
+        self
+    }
+
+    /// Sets (or clears) the match bonus.
+    pub fn with_match_bonus(mut self, bonus: Option<MatchBonus>) -> Self {
+        self.match_bonus = bonus;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_metrics() {
+        assert_eq!(DistanceMetric::Squared.eval_f32(3.0, 1.0), 4.0);
+        assert_eq!(DistanceMetric::Absolute.eval_f32(3.0, 1.0), 2.0);
+        assert_eq!(DistanceMetric::Absolute.eval_f32(1.0, 3.0), 2.0);
+        assert_eq!(DistanceMetric::Squared.eval_i8(-100, 100), 40_000);
+        assert_eq!(DistanceMetric::Absolute.eval_i8(-100, 100), 200);
+        assert_eq!(DistanceMetric::Absolute.eval_i8(5, 5), 0);
+    }
+
+    #[test]
+    fn match_bonus_caps_dwell() {
+        let bonus = MatchBonus::default();
+        assert_eq!(bonus.bonus_for_dwell(0), 0);
+        assert_eq!(bonus.bonus_for_dwell(3), 30);
+        assert_eq!(bonus.bonus_for_dwell(10), 100);
+        assert_eq!(bonus.bonus_for_dwell(500), 100);
+    }
+
+    #[test]
+    fn presets_match_paper() {
+        let vanilla = SdtwConfig::vanilla();
+        assert_eq!(vanilla.distance, DistanceMetric::Squared);
+        assert!(vanilla.allow_reference_deletion);
+        assert!(vanilla.match_bonus.is_none());
+
+        let hw = SdtwConfig::hardware();
+        assert_eq!(hw.distance, DistanceMetric::Absolute);
+        assert!(!hw.allow_reference_deletion);
+        assert_eq!(hw.match_bonus, Some(MatchBonus { bonus_per_sample: 10, dwell_cap: 10 }));
+
+        assert!(SdtwConfig::hardware_without_bonus().match_bonus.is_none());
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let config = SdtwConfig::vanilla()
+            .with_distance(DistanceMetric::Absolute)
+            .with_reference_deletions(false)
+            .with_match_bonus(Some(MatchBonus { bonus_per_sample: 5, dwell_cap: 4 }));
+        assert_eq!(config.distance, DistanceMetric::Absolute);
+        assert!(!config.allow_reference_deletion);
+        assert_eq!(config.match_bonus.unwrap().bonus_for_dwell(9), 20);
+    }
+}

@@ -1,0 +1,390 @@
+//! The SquiggleFilter: single-stage raw-signal read classification.
+//!
+//! A [`SquiggleFilter`] owns the pre-computed reference squiggle of the target
+//! virus (forward and reverse strands), a normalizer and an sDTW kernel. For
+//! each read it:
+//!
+//! 1. takes the first `prefix_samples` raw samples of the read,
+//! 2. normalizes them (mean–MAD by default, as in the accelerator),
+//! 3. optionally quantizes them to signed 8-bit fixed point,
+//! 4. aligns them against the reference with subsequence DTW, and
+//! 5. compares the best alignment cost against a threshold: cost above the
+//!    threshold ⇒ the read is not from the target virus ⇒ eject it.
+
+use crate::config::SdtwConfig;
+use crate::kernel_float::FloatSdtw;
+use crate::kernel_int::IntSdtw;
+use crate::result::SdtwResult;
+use sf_pore_model::{KmerModel, ReferenceSquiggle};
+use sf_squiggle::normalize::{quantize, Normalizer, NormalizerConfig};
+use sf_squiggle::RawSquiggle;
+use sf_genome::Sequence;
+
+/// Read Until decision for one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum FilterVerdict {
+    /// The read matches the target reference: keep sequencing it.
+    Accept,
+    /// The read does not match: instruct the sequencer to eject it.
+    Reject,
+}
+
+impl FilterVerdict {
+    /// `true` for [`FilterVerdict::Accept`].
+    pub fn is_accept(self) -> bool {
+        self == FilterVerdict::Accept
+    }
+}
+
+/// The classification outcome for one read.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Classification {
+    /// Keep or eject.
+    pub verdict: FilterVerdict,
+    /// The underlying alignment result.
+    pub result: SdtwResult,
+    /// The threshold the cost was compared against.
+    pub threshold: f64,
+}
+
+/// Numeric precision of the filter datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum FilterPrecision {
+    /// Signed 8-bit fixed-point samples and integer accumulation — the
+    /// accelerator datapath ("integer normalization" in Figure 18).
+    #[default]
+    Int8,
+    /// 32-bit floating point — the software baseline.
+    Float32,
+}
+
+/// Configuration of a single-stage filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct FilterConfig {
+    /// sDTW kernel configuration.
+    pub sdtw: SdtwConfig,
+    /// Datapath precision.
+    pub precision: FilterPrecision,
+    /// Number of raw samples of each read to classify on (the paper finds
+    /// 2000 samples to be the sweet spot for single-threshold filtering).
+    pub prefix_samples: usize,
+    /// Alignment-cost threshold: cost above this ⇒ reject. The scale depends
+    /// on the precision (quantized costs are ≈ 31.75× larger than float
+    /// costs); use [`crate::threshold::calibrate_threshold`] to pick it.
+    pub threshold: f64,
+    /// Query normalizer configuration.
+    pub normalizer: NormalizerConfig,
+}
+
+impl FilterConfig {
+    /// The full hardware configuration at a given threshold.
+    pub fn hardware(threshold: f64) -> Self {
+        FilterConfig {
+            sdtw: SdtwConfig::hardware(),
+            precision: FilterPrecision::Int8,
+            prefix_samples: 2000,
+            threshold,
+            normalizer: NormalizerConfig::default(),
+        }
+    }
+
+    /// The floating-point vanilla-sDTW configuration at a given threshold.
+    pub fn vanilla(threshold: f64) -> Self {
+        FilterConfig {
+            sdtw: SdtwConfig::vanilla(),
+            precision: FilterPrecision::Float32,
+            prefix_samples: 2000,
+            threshold,
+            normalizer: NormalizerConfig::default(),
+        }
+    }
+
+    /// Sets the prefix length.
+    pub fn with_prefix_samples(mut self, prefix_samples: usize) -> Self {
+        self.prefix_samples = prefix_samples;
+        self
+    }
+
+    /// Sets the threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+}
+
+impl Default for FilterConfig {
+    /// Hardware configuration with a placeholder threshold of `f64::MAX`
+    /// (accept everything) — calibrate before use.
+    fn default() -> Self {
+        FilterConfig::hardware(f64::MAX)
+    }
+}
+
+/// A single-stage SquiggleFilter bound to one target reference.
+///
+/// # Examples
+///
+/// ```
+/// use sf_sdtw::{FilterConfig, SquiggleFilter};
+/// use sf_pore_model::KmerModel;
+/// use sf_genome::random::lambda_like_genome;
+///
+/// let model = KmerModel::synthetic_r94(0);
+/// let genome = lambda_like_genome(1);
+/// let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(50_000.0));
+/// assert!(filter.reference_samples() > 90_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SquiggleFilter {
+    config: FilterConfig,
+    normalizer: Normalizer,
+    int_kernel: Option<IntSdtw>,
+    float_kernel: Option<FloatSdtw>,
+    reference_samples: usize,
+}
+
+impl SquiggleFilter {
+    /// Builds a filter from a pre-computed reference squiggle.
+    pub fn new(reference: &ReferenceSquiggle, config: FilterConfig) -> Self {
+        let normalizer = Normalizer::new(config.normalizer);
+        let reference_samples = reference.total_samples();
+        let (int_kernel, float_kernel) = match config.precision {
+            FilterPrecision::Int8 => (
+                Some(IntSdtw::new(config.sdtw, reference.concatenated_quantized())),
+                None,
+            ),
+            FilterPrecision::Float32 => (
+                None,
+                Some(FloatSdtw::new(config.sdtw, reference.concatenated())),
+            ),
+        };
+        SquiggleFilter {
+            config,
+            normalizer,
+            int_kernel,
+            float_kernel,
+            reference_samples,
+        }
+    }
+
+    /// Builds the reference squiggle for `genome` under `model` and wraps it
+    /// in a filter — the "reprogramming" step when a new virus emerges.
+    pub fn from_genome(model: &KmerModel, genome: &Sequence, config: FilterConfig) -> Self {
+        let reference = ReferenceSquiggle::from_genome(model, genome);
+        SquiggleFilter::new(&reference, config)
+    }
+
+    /// The filter configuration.
+    pub fn config(&self) -> &FilterConfig {
+        &self.config
+    }
+
+    /// Number of reference samples scanned per classification (forward plus
+    /// reverse strand).
+    pub fn reference_samples(&self) -> usize {
+        self.reference_samples
+    }
+
+    /// Scores a read prefix: normalizes, quantizes (if configured) and runs
+    /// sDTW. Returns `None` when the squiggle is empty.
+    pub fn score(&self, squiggle: &RawSquiggle) -> Option<SdtwResult> {
+        let prefix = squiggle.prefix(self.config.prefix_samples);
+        if prefix.is_empty() {
+            return None;
+        }
+        match self.config.precision {
+            FilterPrecision::Int8 => {
+                let query = self.normalizer.normalize_raw_quantized(prefix.samples());
+                self.int_kernel.as_ref().expect("int kernel present").align(&query)
+            }
+            FilterPrecision::Float32 => {
+                let query = self.normalizer.normalize_raw(prefix.samples());
+                self.float_kernel.as_ref().expect("float kernel present").align(&query)
+            }
+        }
+    }
+
+    /// Scores an already-normalized query (used by the ablation benches that
+    /// bypass the raw-signal path).
+    pub fn score_normalized(&self, query: &[f32]) -> Option<SdtwResult> {
+        if query.is_empty() {
+            return None;
+        }
+        let query = &query[..query.len().min(self.config.prefix_samples)];
+        match self.config.precision {
+            FilterPrecision::Int8 => {
+                let quantized: Vec<i8> = query.iter().copied().map(quantize).collect();
+                self.int_kernel.as_ref().expect("int kernel present").align(&quantized)
+            }
+            FilterPrecision::Float32 => {
+                self.float_kernel.as_ref().expect("float kernel present").align(query)
+            }
+        }
+    }
+
+    /// Classifies a read: [`FilterVerdict::Accept`] when the alignment cost is
+    /// at or below the threshold.
+    ///
+    /// An empty squiggle is accepted (no evidence to eject — the safe
+    /// default, since false negatives lose target reads permanently).
+    pub fn classify(&self, squiggle: &RawSquiggle) -> Classification {
+        match self.score(squiggle) {
+            Some(result) => Classification {
+                verdict: if result.cost <= self.config.threshold {
+                    FilterVerdict::Accept
+                } else {
+                    FilterVerdict::Reject
+                },
+                result,
+                threshold: self.config.threshold,
+            },
+            None => Classification {
+                verdict: FilterVerdict::Accept,
+                result: SdtwResult {
+                    cost: 0.0,
+                    start_position: 0,
+                    end_position: 0,
+                    query_samples: 0,
+                },
+                threshold: self.config.threshold,
+            },
+        }
+    }
+
+    /// Number of DP cells evaluated per classified read (≈ the operation
+    /// count of §4.8).
+    pub fn cells_per_read(&self) -> u64 {
+        self.config.prefix_samples as u64 * self.reference_samples as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::random_genome;
+    use sf_pore_model::KmerModel;
+
+    // The integration-level accuracy tests (real simulated datasets) live in
+    // the workspace `tests/` directory; these unit tests use a small genome
+    // to stay fast.
+
+    fn small_filter(precision: FilterPrecision, threshold: f64) -> (SquiggleFilter, KmerModel, Sequence) {
+        let model = KmerModel::synthetic_r94(0);
+        let genome = random_genome(11, 3_000);
+        let config = FilterConfig {
+            precision,
+            ..FilterConfig::hardware(threshold)
+        };
+        let filter = SquiggleFilter::from_genome(&model, &genome, config);
+        (filter, model, genome)
+    }
+
+    /// Builds a noiseless squiggle for a fragment of `genome` by expanding the
+    /// expected signal to 10 samples per base in raw ADC counts.
+    fn noiseless_squiggle(model: &KmerModel, fragment: &Sequence) -> RawSquiggle {
+        let adc = sf_pore_model::AdcModel::default();
+        let expected = model.expected_signal(fragment);
+        let samples: Vec<u16> = expected
+            .iter()
+            .flat_map(|&pa| std::iter::repeat(adc.to_raw(pa)).take(10))
+            .collect();
+        RawSquiggle::new(samples, 4000.0)
+    }
+
+    #[test]
+    fn target_read_scores_below_background_read() {
+        let (filter, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let target = noiseless_squiggle(&model, &genome.subsequence(500, 1_000));
+        let background = noiseless_squiggle(&model, &random_genome(99, 500));
+        let target_cost = filter.score(&target).unwrap().cost;
+        let background_cost = filter.score(&background).unwrap().cost;
+        assert!(
+            target_cost * 1.5 < background_cost,
+            "target {target_cost} vs background {background_cost}"
+        );
+    }
+
+    #[test]
+    fn threshold_separates_verdicts() {
+        let (filter, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let target = noiseless_squiggle(&model, &genome.subsequence(500, 1_000));
+        let background = noiseless_squiggle(&model, &random_genome(99, 500));
+        let target_cost = filter.score(&target).unwrap().cost;
+        let background_cost = filter.score(&background).unwrap().cost;
+        let threshold = (target_cost + background_cost) / 2.0;
+
+        let config = filter.config().with_threshold(threshold);
+        let model2 = KmerModel::synthetic_r94(0);
+        let calibrated = SquiggleFilter::from_genome(&model2, &genome, config);
+        assert_eq!(calibrated.classify(&target).verdict, FilterVerdict::Accept);
+        assert_eq!(calibrated.classify(&background).verdict, FilterVerdict::Reject);
+    }
+
+    #[test]
+    fn float_precision_also_separates() {
+        let (filter, model, genome) = small_filter(FilterPrecision::Float32, f64::MAX);
+        let target = noiseless_squiggle(&model, &genome.subsequence(0, 600));
+        let background = noiseless_squiggle(&model, &random_genome(98, 600));
+        let target_cost = filter.score(&target).unwrap().cost;
+        let background_cost = filter.score(&background).unwrap().cost;
+        assert!(target_cost < background_cost);
+    }
+
+    #[test]
+    fn prefix_limits_samples_used() {
+        let (filter, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let squiggle = noiseless_squiggle(&model, &genome.subsequence(0, 2_000));
+        let result = filter.score(&squiggle).unwrap();
+        assert_eq!(result.query_samples, 2_000);
+        assert!(squiggle.len() > 2_000);
+    }
+
+    #[test]
+    fn empty_squiggle_is_accepted() {
+        let (filter, _, _) = small_filter(FilterPrecision::Int8, 0.0);
+        let classification = filter.classify(&RawSquiggle::new(Vec::new(), 4000.0));
+        assert_eq!(classification.verdict, FilterVerdict::Accept);
+        assert_eq!(classification.result.query_samples, 0);
+    }
+
+    #[test]
+    fn reference_covers_both_strands() {
+        let (filter, _, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        // forward + reverse, each genome.len() - 5 k-mers long
+        assert_eq!(filter.reference_samples(), 2 * (genome.len() - 5));
+        assert_eq!(
+            filter.cells_per_read(),
+            2_000 * 2 * (genome.len() as u64 - 5)
+        );
+    }
+
+    #[test]
+    fn reverse_strand_reads_still_match() {
+        let (filter, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let fragment = genome.subsequence(1_000, 1_500).reverse_complement();
+        let squiggle = noiseless_squiggle(&model, &fragment);
+        let background = noiseless_squiggle(&model, &random_genome(97, 500));
+        let cost_rev = filter.score(&squiggle).unwrap().cost;
+        let cost_bg = filter.score(&background).unwrap().cost;
+        assert!(cost_rev < cost_bg, "reverse-strand read should match: {cost_rev} vs {cost_bg}");
+    }
+
+    #[test]
+    fn score_normalized_accepts_prequantized_queries() {
+        let (filter, _, _) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let query: Vec<f32> = (0..500).map(|i| ((i % 9) as f32 - 4.0) / 2.0).collect();
+        let result = filter.score_normalized(&query).unwrap();
+        assert_eq!(result.query_samples, 500);
+        assert!(filter.score_normalized(&[]).is_none());
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(FilterVerdict::Accept.is_accept());
+        assert!(!FilterVerdict::Reject.is_accept());
+    }
+}

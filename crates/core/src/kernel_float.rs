@@ -1,0 +1,345 @@
+//! Floating-point subsequence-DTW kernel.
+//!
+//! This is the software-precision version of the filter, used for the vanilla
+//! baseline and for the ablation points of Figure 18 that keep floating-point
+//! normalization. The integer kernel in [`crate::kernel_int`] mirrors the same
+//! recurrence in the accelerator's 8-bit domain.
+//!
+//! The kernel is *streaming*: query samples are pushed one at a time and only
+//! the current DP row is kept (`O(M)` memory for an `N × M` problem), which is
+//! also how the accelerator operates and what makes multi-stage filtering
+//! resumable without recomputation.
+
+use crate::config::SdtwConfig;
+use crate::result::SdtwResult;
+
+/// A reusable subsequence-DTW aligner over a fixed reference signal.
+///
+/// # Examples
+///
+/// ```
+/// use sf_sdtw::{FloatSdtw, SdtwConfig};
+///
+/// // Reference with a distinctive bump in the middle.
+/// let reference: Vec<f32> = (0..100).map(|i| if (40..60).contains(&i) { 2.0 } else { 0.0 }).collect();
+/// let query = vec![2.0f32; 20];
+/// let aligner = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+/// let result = aligner.align(&query).unwrap();
+/// assert_eq!(result.cost, 0.0);
+/// assert!(result.start_position >= 40 && result.end_position < 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloatSdtw {
+    config: SdtwConfig,
+    reference: Vec<f32>,
+}
+
+impl FloatSdtw {
+    /// Creates an aligner for the given reference signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is empty.
+    pub fn new(config: SdtwConfig, reference: Vec<f32>) -> Self {
+        assert!(!reference.is_empty(), "reference signal must not be empty");
+        FloatSdtw { config, reference }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> &SdtwConfig {
+        &self.config
+    }
+
+    /// The reference signal.
+    pub fn reference(&self) -> &[f32] {
+        &self.reference
+    }
+
+    /// Aligns a complete query and returns the best subsequence alignment, or
+    /// `None` for an empty query.
+    pub fn align(&self, query: &[f32]) -> Option<SdtwResult> {
+        let mut stream = self.stream();
+        stream.extend(query);
+        stream.best()
+    }
+
+    /// Starts a streaming alignment (used for multi-stage filtering).
+    pub fn stream(&self) -> FloatSdtwStream<'_> {
+        FloatSdtwStream {
+            engine: self,
+            row: vec![0.0; self.reference.len()],
+            dwell: vec![0; self.reference.len()],
+            starts: vec![0; self.reference.len()],
+            scratch_row: vec![0.0; self.reference.len()],
+            scratch_dwell: vec![0; self.reference.len()],
+            scratch_starts: vec![0; self.reference.len()],
+            samples: 0,
+        }
+    }
+
+    /// Total number of DP cells evaluated for a query of `query_len` samples
+    /// (used by the operation-count comparisons of §4.8).
+    pub fn cell_count(&self, query_len: usize) -> u64 {
+        query_len as u64 * self.reference.len() as u64
+    }
+}
+
+/// In-progress streaming alignment state: one DP row plus per-column dwell
+/// counters and alignment-start bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FloatSdtwStream<'a> {
+    engine: &'a FloatSdtw,
+    row: Vec<f32>,
+    dwell: Vec<u32>,
+    starts: Vec<usize>,
+    scratch_row: Vec<f32>,
+    scratch_dwell: Vec<u32>,
+    scratch_starts: Vec<usize>,
+    samples: usize,
+}
+
+impl FloatSdtwStream<'_> {
+    /// Number of query samples processed so far.
+    pub fn samples_processed(&self) -> usize {
+        self.samples
+    }
+
+    /// Pushes a batch of query samples.
+    pub fn extend(&mut self, samples: &[f32]) {
+        for &q in samples {
+            self.push(q);
+        }
+    }
+
+    /// Pushes a single query sample, updating the DP row.
+    pub fn push(&mut self, q: f32) {
+        let config = &self.engine.config;
+        let reference = &self.engine.reference;
+        let m = reference.len();
+        if self.samples == 0 {
+            for j in 0..m {
+                self.row[j] = config.distance.eval_f32(q, reference[j]);
+                self.dwell[j] = 1;
+                self.starts[j] = j;
+            }
+            self.samples = 1;
+            return;
+        }
+        let bonus = config.match_bonus;
+        for j in 0..m {
+            let d = config.distance.eval_f32(q, reference[j]);
+            // Vertical: same reference base consumes another query sample.
+            let mut best = self.row[j];
+            let mut best_dwell = self.dwell[j] + 1;
+            let mut best_start = self.starts[j];
+            if j > 0 {
+                // Diagonal: advance to a new reference base.
+                let mut diag = self.row[j - 1];
+                if let Some(b) = bonus {
+                    diag -= b.bonus_for_dwell(self.dwell[j - 1]) as f32;
+                }
+                if diag < best {
+                    best = diag;
+                    best_dwell = 1;
+                    best_start = self.starts[j - 1];
+                }
+                // Reference deletion: same query sample spans another base.
+                if config.allow_reference_deletion {
+                    let left = self.scratch_row[j - 1];
+                    if left < best {
+                        best = left;
+                        best_dwell = 1;
+                        best_start = self.scratch_starts[j - 1];
+                    }
+                }
+            }
+            self.scratch_row[j] = best + d;
+            self.scratch_dwell[j] = best_dwell;
+            self.scratch_starts[j] = best_start;
+        }
+        std::mem::swap(&mut self.row, &mut self.scratch_row);
+        std::mem::swap(&mut self.dwell, &mut self.scratch_dwell);
+        std::mem::swap(&mut self.starts, &mut self.scratch_starts);
+        self.samples += 1;
+    }
+
+    /// The best subsequence alignment of everything pushed so far, or `None`
+    /// if no samples have been pushed.
+    pub fn best(&self) -> Option<SdtwResult> {
+        if self.samples == 0 {
+            return None;
+        }
+        let (end, &cost) = self
+            .row
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("costs are finite"))?;
+        Some(SdtwResult {
+            cost: cost as f64,
+            start_position: self.starts[end],
+            end_position: end,
+            query_samples: self.samples,
+        })
+    }
+
+    /// The current DP row (alignment cost ending at each reference position).
+    /// Exposed for the hardware model's equivalence checks.
+    pub fn row(&self) -> &[f32] {
+        &self.row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DistanceMetric, MatchBonus};
+
+    /// Builds a pseudo-random, non-repeating reference signal, and a query
+    /// that repeats a slice of it (simulating multiple samples per base).
+    fn reference_signal() -> Vec<f32> {
+        let mut x: u32 = 12345;
+        (0..200)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (x >> 16) as f32 / 65_536.0 * 10.0
+            })
+            .collect()
+    }
+
+    fn repeat_slice(signal: &[f32], start: usize, end: usize, repeats: usize) -> Vec<f32> {
+        signal[start..end]
+            .iter()
+            .flat_map(|&x| std::iter::repeat(x).take(repeats))
+            .collect()
+    }
+
+    #[test]
+    fn exact_subsequence_has_zero_cost() {
+        let reference = reference_signal();
+        let query = repeat_slice(&reference, 50, 80, 1);
+        let aligner = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let result = aligner.align(&query).unwrap();
+        assert_eq!(result.cost, 0.0);
+        assert_eq!(result.start_position, 50);
+        assert_eq!(result.end_position, 79);
+        assert_eq!(result.query_samples, 30);
+    }
+
+    #[test]
+    fn warped_subsequence_still_matches_without_deletions() {
+        // Each reference sample is repeated 3-ish times in the query (slow
+        // translocation). Cost should remain zero because vertical moves are
+        // free of extra distance when values are identical.
+        let reference = reference_signal();
+        let query = repeat_slice(&reference, 20, 60, 3);
+        let aligner = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let result = aligner.align(&query).unwrap();
+        assert_eq!(result.cost, 0.0);
+        assert_eq!(result.start_position, 20);
+        assert_eq!(result.end_position, 59);
+    }
+
+    #[test]
+    fn random_query_has_high_cost() {
+        let reference = reference_signal();
+        let aligner = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let noise: Vec<f32> = (0..60).map(|i| ((i * 7919) % 100) as f32 / 4.0 - 10.0).collect();
+        let matched = repeat_slice(aligner.reference(), 10, 70, 1);
+        let cost_noise = aligner.align(&noise).unwrap().cost;
+        let cost_match = aligner.align(&matched).unwrap().cost;
+        assert!(cost_noise > cost_match + 100.0, "{cost_noise} vs {cost_match}");
+    }
+
+    #[test]
+    fn vanilla_squared_metric_penalizes_outliers_more() {
+        let reference = vec![0.0f32; 50];
+        let query = vec![0.0, 0.0, 3.0, 0.0];
+        let abs = FloatSdtw::new(
+            SdtwConfig::vanilla().with_distance(DistanceMetric::Absolute),
+            reference.clone(),
+        );
+        let sq = FloatSdtw::new(SdtwConfig::vanilla(), reference);
+        assert_eq!(abs.align(&query).unwrap().cost, 3.0);
+        assert_eq!(sq.align(&query).unwrap().cost, 9.0);
+    }
+
+    #[test]
+    fn reference_deletions_allow_skipping_bases() {
+        // Query jumps across reference values; with deletions allowed one
+        // query sample may span several reference samples cheaply.
+        let reference = vec![0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let query = vec![0.0f32, 5.0];
+        let without = FloatSdtw::new(
+            SdtwConfig::hardware_without_bonus(),
+            reference.clone(),
+        );
+        let with = FloatSdtw::new(
+            SdtwConfig::hardware_without_bonus().with_reference_deletions(true),
+            reference,
+        );
+        let c_without = without.align(&query).unwrap().cost;
+        let c_with = with.align(&query).unwrap().cost;
+        // Allowing the extra transition can never increase the optimum.
+        assert!(c_with <= c_without);
+        // Both end up warping q1 onto reference value 1 (cost 4) here; the
+        // point of the toggle is the ablation in Figure 18, not this toy case.
+        assert_eq!(c_with, 4.0);
+        assert_eq!(c_without, 4.0);
+    }
+
+    #[test]
+    fn match_bonus_reduces_cost_of_matching_reads() {
+        let reference = reference_signal();
+        let query = repeat_slice(&reference, 30, 70, 4);
+        let plain = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference.clone());
+        let bonus = FloatSdtw::new(SdtwConfig::hardware(), reference);
+        let c_plain = plain.align(&query).unwrap().cost;
+        let c_bonus = bonus.align(&query).unwrap().cost;
+        assert!(c_bonus < c_plain, "{c_bonus} should be below {c_plain}");
+        // The plain hardware config finds the exact match.
+        assert_eq!(c_plain, 0.0);
+    }
+
+    #[test]
+    fn streaming_matches_batch_alignment() {
+        let reference = reference_signal();
+        let aligner = FloatSdtw::new(SdtwConfig::hardware(), reference);
+        let query = repeat_slice(aligner.reference(), 5, 95, 2);
+        let batch = aligner.align(&query).unwrap();
+        let mut stream = aligner.stream();
+        for chunk in query.chunks(17) {
+            stream.extend(chunk);
+        }
+        assert_eq!(stream.best().unwrap(), batch);
+        assert_eq!(stream.samples_processed(), query.len());
+    }
+
+    #[test]
+    fn empty_query_returns_none() {
+        let aligner = FloatSdtw::new(SdtwConfig::vanilla(), vec![1.0, 2.0]);
+        assert!(aligner.align(&[]).is_none());
+        assert!(aligner.stream().best().is_none());
+    }
+
+    #[test]
+    fn first_column_only_allows_vertical_moves() {
+        // With a 1-sample reference every query sample must align to it.
+        let aligner = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), vec![1.0]);
+        let result = aligner.align(&[1.0, 2.0, 1.0]).unwrap();
+        assert_eq!(result.cost, 1.0);
+        assert_eq!(result.start_position, 0);
+        assert_eq!(result.end_position, 0);
+    }
+
+    #[test]
+    fn cell_count_is_product() {
+        let aligner = FloatSdtw::new(SdtwConfig::vanilla(), vec![0.0; 500]);
+        assert_eq!(aligner.cell_count(2000), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference signal")]
+    fn empty_reference_panics() {
+        let _ = FloatSdtw::new(SdtwConfig::vanilla(), Vec::new());
+    }
+}

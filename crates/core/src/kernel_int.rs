@@ -1,0 +1,353 @@
+//! Integer (8-bit fixed-point) subsequence-DTW kernel.
+//!
+//! This kernel operates in exactly the domain of the accelerator: queries and
+//! references are signed 8-bit fixed-point samples (normalized currents in
+//! `[-4, 4]` mapped to `[-127, 127]`), per-cell distances are small integers,
+//! and costs accumulate in 32-bit integers. The hardware model in `sf-hw`
+//! executes the same recurrence cycle-by-cycle and is checked cell-for-cell
+//! against this implementation.
+
+use crate::config::SdtwConfig;
+use crate::result::SdtwResult;
+
+/// Integer subsequence-DTW aligner over a fixed quantized reference signal.
+///
+/// # Examples
+///
+/// ```
+/// use sf_sdtw::{IntSdtw, SdtwConfig};
+///
+/// let reference: Vec<i8> = (0..100).map(|i| if (30..50).contains(&i) { 80 } else { -40 }).collect();
+/// let query = vec![80i8; 15];
+/// let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+/// let result = aligner.align(&query).unwrap();
+/// assert_eq!(result.cost, 0.0);
+/// assert!(result.start_position >= 30 && result.end_position < 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntSdtw {
+    config: SdtwConfig,
+    reference: Vec<i8>,
+}
+
+impl IntSdtw {
+    /// Creates an aligner for the given quantized reference signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is empty.
+    pub fn new(config: SdtwConfig, reference: Vec<i8>) -> Self {
+        assert!(!reference.is_empty(), "reference signal must not be empty");
+        IntSdtw { config, reference }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> &SdtwConfig {
+        &self.config
+    }
+
+    /// The quantized reference signal.
+    pub fn reference(&self) -> &[i8] {
+        &self.reference
+    }
+
+    /// Aligns a complete quantized query, or returns `None` for an empty
+    /// query.
+    pub fn align(&self, query: &[i8]) -> Option<SdtwResult> {
+        let mut stream = self.stream();
+        stream.extend(query);
+        stream.best()
+    }
+
+    /// Starts a streaming alignment.
+    pub fn stream(&self) -> IntSdtwStream<'_> {
+        IntSdtwStream {
+            engine: self,
+            row: vec![0; self.reference.len()],
+            dwell: vec![0; self.reference.len()],
+            starts: vec![0; self.reference.len()],
+            scratch_row: vec![0; self.reference.len()],
+            scratch_dwell: vec![0; self.reference.len()],
+            scratch_starts: vec![0; self.reference.len()],
+            samples: 0,
+        }
+    }
+
+    /// Total number of DP cells evaluated for a query of `query_len` samples.
+    pub fn cell_count(&self, query_len: usize) -> u64 {
+        query_len as u64 * self.reference.len() as u64
+    }
+}
+
+/// Streaming state of an in-progress integer alignment (one DP row).
+///
+/// The row can be inspected and restored, which is how both multi-stage
+/// filtering (paper §4.6) and the accelerator's DRAM spill of intermediate
+/// costs (paper §5.1) are modelled.
+#[derive(Debug, Clone)]
+pub struct IntSdtwStream<'a> {
+    engine: &'a IntSdtw,
+    row: Vec<i32>,
+    dwell: Vec<u32>,
+    starts: Vec<usize>,
+    scratch_row: Vec<i32>,
+    scratch_dwell: Vec<u32>,
+    scratch_starts: Vec<usize>,
+    samples: usize,
+}
+
+impl IntSdtwStream<'_> {
+    /// Number of query samples processed so far.
+    pub fn samples_processed(&self) -> usize {
+        self.samples
+    }
+
+    /// Pushes a batch of query samples.
+    pub fn extend(&mut self, samples: &[i8]) {
+        for &q in samples {
+            self.push(q);
+        }
+    }
+
+    /// Pushes a single query sample, updating the DP row.
+    pub fn push(&mut self, q: i8) {
+        let config = &self.engine.config;
+        let reference = &self.engine.reference;
+        let m = reference.len();
+        if self.samples == 0 {
+            for j in 0..m {
+                self.row[j] = config.distance.eval_i8(q, reference[j]);
+                self.dwell[j] = 1;
+                self.starts[j] = j;
+            }
+            self.samples = 1;
+            return;
+        }
+        let bonus = config.match_bonus;
+        for j in 0..m {
+            let d = config.distance.eval_i8(q, reference[j]);
+            let mut best = self.row[j];
+            let mut best_dwell = self.dwell[j] + 1;
+            let mut best_start = self.starts[j];
+            if j > 0 {
+                let mut diag = self.row[j - 1];
+                if let Some(b) = bonus {
+                    diag -= b.bonus_for_dwell(self.dwell[j - 1]) as i32;
+                }
+                if diag < best {
+                    best = diag;
+                    best_dwell = 1;
+                    best_start = self.starts[j - 1];
+                }
+                if config.allow_reference_deletion {
+                    let left = self.scratch_row[j - 1];
+                    if left < best {
+                        best = left;
+                        best_dwell = 1;
+                        best_start = self.scratch_starts[j - 1];
+                    }
+                }
+            }
+            self.scratch_row[j] = best.saturating_add(d);
+            self.scratch_dwell[j] = best_dwell;
+            self.scratch_starts[j] = best_start;
+        }
+        std::mem::swap(&mut self.row, &mut self.scratch_row);
+        std::mem::swap(&mut self.dwell, &mut self.scratch_dwell);
+        std::mem::swap(&mut self.starts, &mut self.scratch_starts);
+        self.samples += 1;
+    }
+
+    /// The best subsequence alignment of everything pushed so far, or `None`
+    /// if no samples have been pushed.
+    pub fn best(&self) -> Option<SdtwResult> {
+        if self.samples == 0 {
+            return None;
+        }
+        let (end, &cost) = self.row.iter().enumerate().min_by_key(|(_, &c)| c)?;
+        Some(SdtwResult {
+            cost: cost as f64,
+            start_position: self.starts[end],
+            end_position: end,
+            query_samples: self.samples,
+        })
+    }
+
+    /// The current DP row. The accelerator spills exactly this row to DRAM
+    /// between multi-stage filtering stages.
+    pub fn row(&self) -> &[i32] {
+        &self.row
+    }
+
+    /// Restores a previously saved DP row (plus dwell counters), modelling a
+    /// multi-stage resume from DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the reference length.
+    pub fn restore(&mut self, row: &[i32], dwell: &[u32], starts: &[usize], samples: usize) {
+        assert_eq!(row.len(), self.row.len(), "row length mismatch");
+        assert_eq!(dwell.len(), self.dwell.len(), "dwell length mismatch");
+        assert_eq!(starts.len(), self.starts.len(), "starts length mismatch");
+        self.row.copy_from_slice(row);
+        self.dwell.copy_from_slice(dwell);
+        self.starts.copy_from_slice(starts);
+        self.samples = samples;
+    }
+
+    /// The per-column dwell counters (samples aligned to each reference
+    /// position in the best path ending there).
+    pub fn dwell(&self) -> &[u32] {
+        &self.dwell
+    }
+
+    /// The per-column alignment start positions.
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel_float::FloatSdtw;
+
+    fn reference_signal() -> Vec<i8> {
+        let mut x: u32 = 99;
+        (0..300)
+            .map(|_| {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                ((x >> 24) as i32 - 128) as i8
+            })
+            .collect()
+    }
+
+    fn repeat_slice(signal: &[i8], start: usize, end: usize, repeats: usize) -> Vec<i8> {
+        signal[start..end]
+            .iter()
+            .flat_map(|&x| std::iter::repeat(x).take(repeats))
+            .collect()
+    }
+
+    #[test]
+    fn exact_subsequence_has_zero_cost() {
+        let reference = reference_signal();
+        let query = repeat_slice(&reference, 100, 160, 1);
+        let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let result = aligner.align(&query).unwrap();
+        assert_eq!(result.cost, 0.0);
+        assert_eq!(result.start_position, 100);
+        assert_eq!(result.end_position, 159);
+    }
+
+    #[test]
+    fn warped_exact_subsequence_has_zero_cost() {
+        let reference = reference_signal();
+        let query = repeat_slice(&reference, 10, 50, 7);
+        let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let result = aligner.align(&query).unwrap();
+        assert_eq!(result.cost, 0.0);
+        assert_eq!(result.reference_span(), 40);
+    }
+
+    #[test]
+    fn mismatching_query_has_positive_cost() {
+        let reference = reference_signal();
+        let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let noise: Vec<i8> = (0..100).map(|i| (((i * 97) % 255) as i32 - 127) as i8).collect();
+        let cost = aligner.align(&noise).unwrap().cost;
+        assert!(cost > 1_000.0, "cost {cost}");
+    }
+
+    #[test]
+    fn matches_float_kernel_when_inputs_are_quantized() {
+        // The integer kernel and the float kernel must produce identical costs
+        // when fed identical (already-quantized) values, for every config.
+        let reference = reference_signal();
+        let reference_f: Vec<f32> = reference.iter().map(|&x| x as f32).collect();
+        let query = repeat_slice(&reference, 37, 87, 3);
+        let query_f: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+        for config in [
+            SdtwConfig::vanilla(),
+            SdtwConfig::hardware(),
+            SdtwConfig::hardware_without_bonus(),
+            SdtwConfig::vanilla().with_reference_deletions(false),
+        ] {
+            let int = IntSdtw::new(config, reference.clone()).align(&query).unwrap();
+            let float = FloatSdtw::new(config, reference_f.clone()).align(&query_f).unwrap();
+            assert_eq!(int.cost, float.cost, "config {config:?}");
+            assert_eq!(int.end_position, float.end_position, "config {config:?}");
+            assert_eq!(int.start_position, float.start_position, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_resume_matches_single_pass() {
+        let reference = reference_signal();
+        let aligner = IntSdtw::new(SdtwConfig::hardware(), reference);
+        let query = repeat_slice(aligner.reference(), 20, 120, 2);
+        // Single pass.
+        let full = aligner.align(&query).unwrap();
+        // Two-stage: run the first 100 samples, save state, restore into a new
+        // stream and continue.
+        let mut first = aligner.stream();
+        first.extend(&query[..100]);
+        let (row, dwell, starts, n) = (
+            first.row().to_vec(),
+            first.dwell().to_vec(),
+            first.starts().to_vec(),
+            first.samples_processed(),
+        );
+        let mut second = aligner.stream();
+        second.restore(&row, &dwell, &starts, n);
+        second.extend(&query[100..]);
+        assert_eq!(second.best().unwrap(), full);
+    }
+
+    #[test]
+    fn match_bonus_separates_target_from_noise_further() {
+        let reference = reference_signal();
+        let target_query = repeat_slice(&reference, 50, 110, 9);
+        let noise: Vec<i8> = (0..540).map(|i| (((i * 41) % 255) as i32 - 127) as i8).collect();
+
+        let without = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference.clone());
+        let with = IntSdtw::new(SdtwConfig::hardware(), reference);
+
+        let margin_without =
+            without.align(&noise).unwrap().cost - without.align(&target_query).unwrap().cost;
+        let margin_with = with.align(&noise).unwrap().cost - with.align(&target_query).unwrap().cost;
+        assert!(
+            margin_with > margin_without,
+            "bonus should widen the margin: {margin_with} vs {margin_without}"
+        );
+    }
+
+    #[test]
+    fn empty_query_is_none() {
+        let aligner = IntSdtw::new(SdtwConfig::hardware(), vec![0, 1, 2]);
+        assert!(aligner.align(&[]).is_none());
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let reference = vec![127i8; 4_000];
+        let query = vec![-128i8; 4_000];
+        let aligner = IntSdtw::new(
+            SdtwConfig::vanilla().with_reference_deletions(false),
+            reference,
+        );
+        // 4000 samples * 255^2 = 260 M — fits i32, and saturating_add guards
+        // pathological cases anyway.
+        let result = aligner.align(&query).unwrap();
+        assert!(result.cost > 0.0);
+        assert!(result.cost.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn restore_validates_lengths() {
+        let aligner = IntSdtw::new(SdtwConfig::hardware(), vec![0i8; 10]);
+        let mut stream = aligner.stream();
+        stream.restore(&[0; 5], &[0; 10], &[0; 10], 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! SquiggleFilter: subsequence-DTW filtering of raw nanopore signal.
+//!
+//! This crate is the Rust implementation of the paper's primary contribution
+//! (Dunn, Sadasivan, et al., *SquiggleFilter: An Accelerator for Portable
+//! Virus Detection*, MICRO 2021): classifying each read as target-virus or
+//! background by aligning the read's raw electrical signal directly against
+//! the precomputed reference squiggle of the target genome, skipping
+//! basecalling entirely.
+//!
+//! * [`config`] — the sDTW variants: distance metric, reference-deletion
+//!   removal and match bonus (paper §4.7), each an independent toggle for the
+//!   Figure 18 ablation.
+//! * [`kernel_float`] / [`kernel_int`] — streaming subsequence-DTW kernels in
+//!   floating point and in the accelerator's 8-bit fixed-point domain.
+//! * [`filter`] — the single-stage [`SquiggleFilter`]: normalize a read
+//!   prefix, align it, compare against a threshold (paper §4.5).
+//! * [`multistage`] — multi-stage filtering with carried-over DP state
+//!   (paper §4.6).
+//! * [`threshold`] — threshold calibration from labelled costs.
+//!
+//! # Example
+//!
+//! ```
+//! use sf_sdtw::{FilterConfig, SquiggleFilter};
+//! use sf_pore_model::KmerModel;
+//! use sf_genome::random::covid_like_genome;
+//! use sf_squiggle::RawSquiggle;
+//!
+//! // Program the filter for a new target virus.
+//! let model = KmerModel::synthetic_r94(0);
+//! let genome = covid_like_genome(1);
+//! let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(60_000.0));
+//!
+//! // Classify a read prefix (here: an obviously non-matching flat signal).
+//! let read = RawSquiggle::new(vec![500u16; 2_000], 4_000.0);
+//! let decision = filter.classify(&read);
+//! println!("cost = {}, keep = {}", decision.result.cost, decision.verdict.is_accept());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod filter;
+pub mod kernel_float;
+pub mod kernel_int;
+pub mod multistage;
+pub mod result;
+pub mod threshold;
+
+pub use config::{DistanceMetric, MatchBonus, SdtwConfig};
+pub use filter::{Classification, FilterConfig, FilterPrecision, FilterVerdict, SquiggleFilter};
+pub use kernel_float::{FloatSdtw, FloatSdtwStream};
+pub use kernel_int::{IntSdtw, IntSdtwStream};
+pub use multistage::{MultiStageConfig, MultiStageFilter, Stage, StagedClassification};
+pub use result::SdtwResult;
+pub use threshold::{calibrate_threshold, OperatingPoint, ThresholdSweep};

@@ -1,0 +1,324 @@
+//! Multi-stage sDTW filtering (paper §4.6).
+//!
+//! Waiting for a long read prefix makes classification more accurate but
+//! wastes sequencing time on non-target reads. The multi-stage filter gets
+//! the best of both: an early stage with a short prefix and a *permissive*
+//! threshold ejects the obviously-non-target reads after only ~1000 samples,
+//! and later stages re-examine the survivors with longer prefixes and more
+//! aggressive thresholds. Intermediate DP state is carried between stages so
+//! nothing is recomputed — exactly what the accelerator does by spilling the
+//! last PE's costs to DRAM.
+
+use crate::config::SdtwConfig;
+use crate::filter::FilterVerdict;
+use crate::kernel_int::IntSdtw;
+use crate::result::SdtwResult;
+use sf_pore_model::ReferenceSquiggle;
+use sf_squiggle::normalize::{Normalizer, NormalizerConfig};
+use sf_squiggle::RawSquiggle;
+
+/// One filtering stage: examine `prefix_samples` of the read and reject it if
+/// the alignment cost exceeds `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Stage {
+    /// Cumulative number of samples examined by the end of this stage.
+    pub prefix_samples: usize,
+    /// Cost threshold for this stage (total alignment cost).
+    pub threshold: f64,
+}
+
+/// Outcome of a multi-stage classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct StagedClassification {
+    /// Final verdict.
+    pub verdict: FilterVerdict,
+    /// Index of the stage that made the decision (rejecting stage, or the
+    /// last stage for accepted reads).
+    pub deciding_stage: usize,
+    /// Number of query samples that had been examined when the decision was
+    /// made — this is what determines how much sequencing time was spent.
+    pub samples_used: usize,
+    /// Alignment result at decision time.
+    pub result: SdtwResult,
+}
+
+/// Configuration of the multi-stage filter.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MultiStageConfig {
+    /// The sDTW kernel configuration (shared by all stages).
+    pub sdtw: SdtwConfig,
+    /// The stages, in increasing `prefix_samples` order.
+    pub stages: Vec<Stage>,
+    /// Query normalizer configuration.
+    pub normalizer: NormalizerConfig,
+}
+
+impl MultiStageConfig {
+    /// A two-stage configuration matching the paper's example: a permissive
+    /// decision at 1000 samples and an aggressive one at 5000 samples.
+    pub fn two_stage(early_threshold: f64, late_threshold: f64) -> Self {
+        MultiStageConfig {
+            sdtw: SdtwConfig::hardware(),
+            stages: vec![
+                Stage { prefix_samples: 1_000, threshold: early_threshold },
+                Stage { prefix_samples: 5_000, threshold: late_threshold },
+            ],
+            normalizer: NormalizerConfig::default(),
+        }
+    }
+
+    /// Validates that stages are non-empty and strictly increasing in prefix
+    /// length.
+    fn validate(&self) {
+        assert!(!self.stages.is_empty(), "at least one stage is required");
+        for pair in self.stages.windows(2) {
+            assert!(
+                pair[1].prefix_samples > pair[0].prefix_samples,
+                "stage prefixes must be strictly increasing"
+            );
+        }
+    }
+}
+
+/// The multi-stage SquiggleFilter (8-bit integer datapath).
+///
+/// # Examples
+///
+/// ```
+/// use sf_sdtw::{MultiStageConfig, MultiStageFilter};
+/// use sf_pore_model::{KmerModel, ReferenceSquiggle};
+/// use sf_genome::random::random_genome;
+/// use sf_squiggle::RawSquiggle;
+///
+/// let model = KmerModel::synthetic_r94(0);
+/// let genome = random_genome(1, 2_000);
+/// let reference = ReferenceSquiggle::from_genome(&model, &genome);
+/// let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(1.0e9, 1.0e9));
+/// // A permissive threshold accepts everything after the final stage.
+/// let read = RawSquiggle::new(vec![500; 6_000], 4_000.0);
+/// let outcome = filter.classify(&read);
+/// assert!(outcome.verdict.is_accept());
+/// assert_eq!(outcome.deciding_stage, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiStageFilter {
+    config: MultiStageConfig,
+    kernel: IntSdtw,
+    normalizer: Normalizer,
+    reference_samples: usize,
+}
+
+impl MultiStageFilter {
+    /// Builds a multi-stage filter over a pre-computed reference squiggle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage list is empty or not strictly increasing.
+    pub fn new(reference: &ReferenceSquiggle, config: MultiStageConfig) -> Self {
+        config.validate();
+        let kernel = IntSdtw::new(config.sdtw, reference.concatenated_quantized());
+        let normalizer = Normalizer::new(config.normalizer);
+        MultiStageFilter {
+            reference_samples: reference.total_samples(),
+            config,
+            kernel,
+            normalizer,
+        }
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &MultiStageConfig {
+        &self.config
+    }
+
+    /// Number of reference samples scanned per stage evaluation.
+    pub fn reference_samples(&self) -> usize {
+        self.reference_samples
+    }
+
+    /// Classifies a read, stopping at the first stage whose threshold is
+    /// exceeded. An empty squiggle is accepted at stage 0.
+    pub fn classify(&self, squiggle: &RawSquiggle) -> StagedClassification {
+        let last_stage = self.config.stages.len() - 1;
+        if squiggle.is_empty() {
+            return StagedClassification {
+                verdict: FilterVerdict::Accept,
+                deciding_stage: 0,
+                samples_used: 0,
+                result: SdtwResult { cost: 0.0, start_position: 0, end_position: 0, query_samples: 0 },
+            };
+        }
+        // Normalize once over the longest prefix we may need; the hardware
+        // normalizer similarly re-estimates every 2000 samples but the first
+        // window dominates.
+        let max_prefix = self.config.stages[last_stage].prefix_samples;
+        let prefix = squiggle.prefix(max_prefix);
+        let query = self.normalizer.normalize_raw_quantized(prefix.samples());
+
+        let mut stream = self.kernel.stream();
+        let mut consumed = 0usize;
+        for (index, stage) in self.config.stages.iter().enumerate() {
+            let until = stage.prefix_samples.min(query.len());
+            if until > consumed {
+                stream.extend(&query[consumed..until]);
+                consumed = until;
+            }
+            let result = stream.best().expect("at least one sample was pushed");
+            let reject = result.cost > stage.threshold;
+            let is_last = index == last_stage || consumed == query.len();
+            if reject {
+                return StagedClassification {
+                    verdict: FilterVerdict::Reject,
+                    deciding_stage: index,
+                    samples_used: consumed,
+                    result,
+                };
+            }
+            if is_last {
+                return StagedClassification {
+                    verdict: FilterVerdict::Accept,
+                    deciding_stage: index,
+                    samples_used: consumed,
+                    result,
+                };
+            }
+        }
+        unreachable!("loop always returns on the last stage");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::random_genome;
+    use sf_genome::Sequence;
+    use sf_pore_model::KmerModel;
+
+    fn noiseless_squiggle(model: &KmerModel, fragment: &Sequence) -> RawSquiggle {
+        let adc = sf_pore_model::AdcModel::default();
+        let samples: Vec<u16> = model
+            .expected_signal(fragment)
+            .iter()
+            .flat_map(|&pa| std::iter::repeat(adc.to_raw(pa)).take(10))
+            .collect();
+        RawSquiggle::new(samples, 4_000.0)
+    }
+
+    fn setup() -> (KmerModel, Sequence, ReferenceSquiggle) {
+        let model = KmerModel::synthetic_r94(0);
+        let genome = random_genome(21, 3_000);
+        let reference = ReferenceSquiggle::from_genome(&model, &genome);
+        (model, genome, reference)
+    }
+
+    #[test]
+    fn obvious_background_is_rejected_at_stage_zero() {
+        let (model, genome, reference) = setup();
+        // Calibrate rough thresholds from one target and one background read.
+        let target = noiseless_squiggle(&model, &genome.subsequence(0, 1_000));
+        let background = noiseless_squiggle(&model, &random_genome(77, 1_000));
+        let single = crate::filter::SquiggleFilter::new(
+            &reference,
+            crate::filter::FilterConfig::hardware(f64::MAX).with_prefix_samples(1_000),
+        );
+        let t_cost = single.score(&target).unwrap().cost;
+        let b_cost = single.score(&background).unwrap().cost;
+        let mid = (t_cost + b_cost) / 2.0;
+
+        let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(mid, mid));
+        let rejected = filter.classify(&background);
+        assert_eq!(rejected.verdict, FilterVerdict::Reject);
+        assert_eq!(rejected.deciding_stage, 0);
+        assert_eq!(rejected.samples_used, 1_000);
+
+        let accepted = filter.classify(&target);
+        assert_eq!(accepted.verdict, FilterVerdict::Accept);
+        assert!(accepted.samples_used > 1_000, "survivors are examined further");
+    }
+
+    #[test]
+    fn borderline_reads_survive_to_a_later_stage() {
+        let (model, genome, reference) = setup();
+        let background = noiseless_squiggle(&model, &random_genome(78, 1_000));
+        let single = crate::filter::SquiggleFilter::new(
+            &reference,
+            crate::filter::FilterConfig::hardware(f64::MAX).with_prefix_samples(1_000),
+        );
+        let b_cost = single.score(&background).unwrap().cost;
+        // Stage 0 is permissive (well above the background cost, with margin
+        // for the slightly different normalization window), stage 1 rejects
+        // everything.
+        let config = MultiStageConfig::two_stage(b_cost + 5_000.0, f64::NEG_INFINITY);
+        let filter = MultiStageFilter::new(&reference, config);
+        let outcome = filter.classify(&background);
+        assert_eq!(outcome.verdict, FilterVerdict::Reject);
+        assert_eq!(outcome.deciding_stage, 1);
+        assert!(outcome.samples_used > 1_000);
+    }
+
+    #[test]
+    fn short_read_decides_on_available_samples() {
+        let (_, _, reference) = setup();
+        let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(f64::MAX, f64::MAX));
+        // Only 1500 samples available, less than the stage-1 prefix of 5000.
+        let read = RawSquiggle::new(vec![480; 1_500], 4_000.0);
+        let outcome = filter.classify(&read);
+        assert!(outcome.verdict.is_accept());
+        assert_eq!(outcome.samples_used, 1_500);
+    }
+
+    #[test]
+    fn empty_read_is_accepted() {
+        let (_, _, reference) = setup();
+        let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(1.0, 1.0));
+        let outcome = filter.classify(&RawSquiggle::new(Vec::new(), 4_000.0));
+        assert!(outcome.verdict.is_accept());
+        assert_eq!(outcome.samples_used, 0);
+    }
+
+    #[test]
+    fn staged_result_matches_single_stage_at_same_prefix() {
+        // Because state is carried over, the cost at the final stage must be
+        // identical to a single-stage filter examining the same prefix.
+        let (model, genome, reference) = setup();
+        let target = noiseless_squiggle(&model, &genome.subsequence(500, 1_500));
+        let staged = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(f64::MAX, f64::MAX));
+        let outcome = staged.classify(&target);
+
+        let single = crate::filter::SquiggleFilter::new(
+            &reference,
+            crate::filter::FilterConfig::hardware(f64::MAX).with_prefix_samples(5_000),
+        );
+        let expected = single.score(&target).unwrap();
+        assert_eq!(outcome.result.cost, expected.cost);
+        assert_eq!(outcome.result.end_position, expected.end_position);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_stages_panic() {
+        let (_, _, reference) = setup();
+        let config = MultiStageConfig {
+            stages: vec![
+                Stage { prefix_samples: 2_000, threshold: 1.0 },
+                Stage { prefix_samples: 1_000, threshold: 1.0 },
+            ],
+            ..MultiStageConfig::two_stage(1.0, 1.0)
+        };
+        let _ = MultiStageFilter::new(&reference, config);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_stages_panic() {
+        let (_, _, reference) = setup();
+        let config = MultiStageConfig {
+            stages: Vec::new(),
+            ..MultiStageConfig::two_stage(1.0, 1.0)
+        };
+        let _ = MultiStageFilter::new(&reference, config);
+    }
+}

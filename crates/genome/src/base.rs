@@ -1,0 +1,235 @@
+//! The DNA alphabet.
+//!
+//! Nanopore sequencing reports one of the four canonical DNA bases. RNA
+//! viruses are sequenced after reverse transcription to complementary DNA, so
+//! a four-letter alphabet is sufficient for every workload in this crate.
+
+use std::fmt;
+
+/// A single DNA base.
+///
+/// The discriminant values form the canonical 2-bit encoding used by
+/// [`PackedSequence`](crate::PackedSequence) and by the k-mer indices of the
+/// pore model.
+///
+/// # Examples
+///
+/// ```
+/// use sf_genome::Base;
+///
+/// let b = Base::try_from('g')?;
+/// assert_eq!(b, Base::G);
+/// assert_eq!(b.complement(), Base::C);
+/// assert_eq!(b.to_char(), 'G');
+/// # Ok::<(), sf_genome::ParseBaseError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine (uracil in the source RNA).
+    T = 3,
+}
+
+/// Error returned when a character is not one of `ACGTacgt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseBaseError {
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for ParseBaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid DNA base character {:?}", self.found)
+    }
+}
+
+impl std::error::Error for ParseBaseError {}
+
+impl Base {
+    /// All four bases in encoding order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Returns the Watson–Crick complement of this base.
+    ///
+    /// ```
+    /// use sf_genome::Base;
+    /// assert_eq!(Base::A.complement(), Base::T);
+    /// assert_eq!(Base::C.complement(), Base::G);
+    /// ```
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::C => Base::G,
+            Base::G => Base::C,
+            Base::T => Base::A,
+        }
+    }
+
+    /// Returns the 2-bit code (`A=0, C=1, G=2, T=3`).
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a base from its 2-bit code.
+    ///
+    /// Only the two least-significant bits are inspected, so any `u8` maps to
+    /// a valid base; this mirrors the behaviour of the hardware reference
+    /// buffer which stores two bits per base.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// Uppercase character representation.
+    #[inline]
+    pub fn to_char(self) -> char {
+        match self {
+            Base::A => 'A',
+            Base::C => 'C',
+            Base::G => 'G',
+            Base::T => 'T',
+        }
+    }
+
+    /// Returns `true` for G or C; used for GC-content statistics.
+    #[inline]
+    pub fn is_gc(self) -> bool {
+        matches!(self, Base::G | Base::C)
+    }
+
+    /// Returns the base that is `offset` steps after this one in encoding
+    /// order, wrapping around. Used by mutation models to pick a *different*
+    /// base deterministically: any `offset` in `1..=3` is guaranteed to
+    /// produce a substitution.
+    ///
+    /// ```
+    /// use sf_genome::Base;
+    /// assert_eq!(Base::A.rotate(1), Base::C);
+    /// assert_eq!(Base::T.rotate(1), Base::A);
+    /// assert_ne!(Base::G.rotate(2), Base::G);
+    /// ```
+    #[inline]
+    pub fn rotate(self, offset: u8) -> Base {
+        Base::from_code(self.code().wrapping_add(offset))
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+impl TryFrom<char> for Base {
+    type Error = ParseBaseError;
+
+    fn try_from(value: char) -> Result<Self, Self::Error> {
+        match value {
+            'A' | 'a' => Ok(Base::A),
+            'C' | 'c' => Ok(Base::C),
+            'G' | 'g' => Ok(Base::G),
+            'T' | 't' | 'U' | 'u' => Ok(Base::T),
+            other => Err(ParseBaseError { found: other }),
+        }
+    }
+}
+
+impl TryFrom<u8> for Base {
+    type Error = ParseBaseError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Base::try_from(value as char)
+    }
+}
+
+impl From<Base> for char {
+    fn from(value: Base) -> Self {
+        value.to_char()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        for base in Base::ALL {
+            assert_eq!(Base::from_code(base.code()), base);
+        }
+    }
+
+    #[test]
+    fn from_code_masks_high_bits() {
+        assert_eq!(Base::from_code(0b100), Base::A);
+        assert_eq!(Base::from_code(0xFF), Base::T);
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for base in Base::ALL {
+            assert_eq!(base.complement().complement(), base);
+            assert_ne!(base.complement(), base);
+        }
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for base in Base::ALL {
+            assert_eq!(Base::try_from(base.to_char()).unwrap(), base);
+            assert_eq!(Base::try_from(base.to_char().to_ascii_lowercase()).unwrap(), base);
+        }
+    }
+
+    #[test]
+    fn uracil_maps_to_thymine() {
+        assert_eq!(Base::try_from('U').unwrap(), Base::T);
+        assert_eq!(Base::try_from('u').unwrap(), Base::T);
+    }
+
+    #[test]
+    fn invalid_char_is_error() {
+        let err = Base::try_from('N').unwrap_err();
+        assert_eq!(err.found, 'N');
+        assert!(err.to_string().contains('N'));
+    }
+
+    #[test]
+    fn rotate_never_identity_for_nonzero() {
+        for base in Base::ALL {
+            for offset in 1..4u8 {
+                assert_ne!(base.rotate(offset), base);
+            }
+            assert_eq!(base.rotate(0), base);
+            assert_eq!(base.rotate(4), base);
+        }
+    }
+
+    #[test]
+    fn gc_flags() {
+        assert!(Base::G.is_gc());
+        assert!(Base::C.is_gc());
+        assert!(!Base::A.is_gc());
+        assert!(!Base::T.is_gc());
+    }
+
+    #[test]
+    fn display_matches_char() {
+        assert_eq!(Base::A.to_string(), "A");
+        assert_eq!(format!("{}{}{}", Base::C, Base::G, Base::T), "CGT");
+    }
+}

@@ -1,0 +1,165 @@
+//! Catalog of epidemic viruses and their genome lengths.
+//!
+//! Figure 10 of the paper plots the genome lengths of viruses responsible for
+//! human epidemics to justify the accelerator's 100 kb single-stranded /
+//! 50 kb double-stranded design limit. This module records that catalog so the
+//! figure can be regenerated and so simulated genomes use realistic sizes.
+
+/// Genome length of the SARS-CoV-2 Wuhan reference (bases).
+pub const SARS_COV_2_LENGTH: usize = 29_903;
+/// Genome length of the Enterobacteria phage lambda reference (bases).
+pub const LAMBDA_PHAGE_LENGTH: usize = 48_502;
+/// Maximum single-stranded genome length supported by the accelerator design.
+pub const MAX_SUPPORTED_SS_LENGTH: usize = 100_000;
+/// Maximum double-stranded genome length supported by the accelerator design
+/// (both strands must fit in the reference buffer).
+pub const MAX_SUPPORTED_DS_LENGTH: usize = 50_000;
+
+/// Genome chemistry of a catalogued virus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum GenomeKind {
+    /// Single-stranded RNA genome.
+    SingleStrandedRna,
+    /// Single-stranded DNA genome.
+    SingleStrandedDna,
+    /// Double-stranded DNA genome.
+    DoubleStrandedDna,
+    /// Double-stranded RNA genome.
+    DoubleStrandedRna,
+}
+
+impl GenomeKind {
+    /// Returns `true` if the genome is double stranded.
+    pub fn is_double_stranded(self) -> bool {
+        matches!(self, GenomeKind::DoubleStrandedDna | GenomeKind::DoubleStrandedRna)
+    }
+}
+
+/// One entry of the epidemic virus catalog (Figure 10).
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct VirusInfo {
+    /// Common virus name.
+    pub name: &'static str,
+    /// Reference genome length in bases.
+    pub genome_length: usize,
+    /// Genome chemistry.
+    pub kind: GenomeKind,
+    /// Approximate GC content of the reference, used by the simulator.
+    pub gc_content: f64,
+}
+
+impl VirusInfo {
+    /// Number of reference-squiggle samples the accelerator must store for
+    /// this virus: one expected current per base, for both strands when the
+    /// genome is double stranded (the filter scans forward and reverse
+    /// strands, ~2R cycles per classification).
+    pub fn reference_samples(&self) -> usize {
+        if self.kind.is_double_stranded() {
+            self.genome_length * 2
+        } else {
+            self.genome_length * 2 // forward + reverse-complement strand of cDNA
+        }
+    }
+
+    /// Whether this virus fits within the accelerator's design limits.
+    pub fn fits_accelerator(&self) -> bool {
+        if self.kind.is_double_stranded() {
+            self.genome_length <= MAX_SUPPORTED_DS_LENGTH
+        } else {
+            self.genome_length <= MAX_SUPPORTED_SS_LENGTH
+        }
+    }
+}
+
+/// The epidemic-virus catalog used to regenerate Figure 10.
+///
+/// Genome lengths are the canonical RefSeq lengths (rounded to the base);
+/// smallpox and herpes simplex are the two large double-stranded DNA outliers
+/// called out in the paper.
+pub fn epidemic_viruses() -> Vec<VirusInfo> {
+    use GenomeKind::*;
+    vec![
+        VirusInfo { name: "Poliovirus", genome_length: 7_440, kind: SingleStrandedRna, gc_content: 0.46 },
+        VirusInfo { name: "Norovirus", genome_length: 7_654, kind: SingleStrandedRna, gc_content: 0.48 },
+        VirusInfo { name: "HIV-1", genome_length: 9_181, kind: SingleStrandedRna, gc_content: 0.42 },
+        VirusInfo { name: "Hepatitis C", genome_length: 9_646, kind: SingleStrandedRna, gc_content: 0.58 },
+        VirusInfo { name: "Rubella", genome_length: 9_762, kind: SingleStrandedRna, gc_content: 0.70 },
+        VirusInfo { name: "Dengue", genome_length: 10_735, kind: SingleStrandedRna, gc_content: 0.47 },
+        VirusInfo { name: "Zika", genome_length: 10_794, kind: SingleStrandedRna, gc_content: 0.51 },
+        VirusInfo { name: "Yellow fever", genome_length: 10_862, kind: SingleStrandedRna, gc_content: 0.49 },
+        VirusInfo { name: "West Nile", genome_length: 11_029, kind: SingleStrandedRna, gc_content: 0.51 },
+        VirusInfo { name: "Chikungunya", genome_length: 11_826, kind: SingleStrandedRna, gc_content: 0.50 },
+        VirusInfo { name: "Rabies", genome_length: 11_932, kind: SingleStrandedRna, gc_content: 0.45 },
+        VirusInfo { name: "Influenza A", genome_length: 13_588, kind: SingleStrandedRna, gc_content: 0.43 },
+        VirusInfo { name: "Mumps", genome_length: 15_384, kind: SingleStrandedRna, gc_content: 0.43 },
+        VirusInfo { name: "Measles", genome_length: 15_894, kind: SingleStrandedRna, gc_content: 0.47 },
+        VirusInfo { name: "Ebola", genome_length: 18_959, kind: SingleStrandedRna, gc_content: 0.41 },
+        VirusInfo { name: "SARS-CoV", genome_length: 29_751, kind: SingleStrandedRna, gc_content: 0.41 },
+        VirusInfo { name: "SARS-CoV-2", genome_length: SARS_COV_2_LENGTH, kind: SingleStrandedRna, gc_content: 0.38 },
+        VirusInfo { name: "MERS-CoV", genome_length: 30_119, kind: SingleStrandedRna, gc_content: 0.41 },
+        VirusInfo { name: "Lambda phage", genome_length: LAMBDA_PHAGE_LENGTH, kind: DoubleStrandedDna, gc_content: 0.50 },
+        VirusInfo { name: "Hepatitis B", genome_length: 3_215, kind: DoubleStrandedDna, gc_content: 0.48 },
+        VirusInfo { name: "Herpes simplex 1", genome_length: 152_222, kind: DoubleStrandedDna, gc_content: 0.68 },
+        VirusInfo { name: "Smallpox (variola)", genome_length: 185_578, kind: DoubleStrandedDna, gc_content: 0.33 },
+    ]
+}
+
+/// Looks up a catalog entry by (case-insensitive) name.
+pub fn find(name: &str) -> Option<VirusInfo> {
+    epidemic_viruses()
+        .into_iter()
+        .find(|v| v.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_sorted_viruses_exist() {
+        let catalog = epidemic_viruses();
+        assert!(catalog.len() >= 20);
+        assert!(catalog.iter().any(|v| v.name == "SARS-CoV-2"));
+        assert!(catalog.iter().any(|v| v.name == "Lambda phage"));
+    }
+
+    #[test]
+    fn most_epidemic_viruses_fit_the_accelerator() {
+        let catalog = epidemic_viruses();
+        let fitting = catalog.iter().filter(|v| v.fits_accelerator()).count();
+        let not_fitting: Vec<&str> = catalog
+            .iter()
+            .filter(|v| !v.fits_accelerator())
+            .map(|v| v.name)
+            .collect();
+        // The paper calls out smallpox and herpes simplex as the only
+        // epidemic viruses exceeding the design limit.
+        assert_eq!(not_fitting, vec!["Herpes simplex 1", "Smallpox (variola)"]);
+        assert_eq!(fitting, catalog.len() - 2);
+    }
+
+    #[test]
+    fn reference_sample_counts() {
+        let covid = find("sars-cov-2").unwrap();
+        assert_eq!(covid.reference_samples(), 2 * SARS_COV_2_LENGTH);
+        let lambda = find("Lambda phage").unwrap();
+        assert!(lambda.kind.is_double_stranded());
+        assert_eq!(lambda.reference_samples(), 2 * LAMBDA_PHAGE_LENGTH);
+    }
+
+    #[test]
+    fn find_is_case_insensitive_and_total() {
+        assert!(find("ZIKA").is_some());
+        assert!(find("not a virus").is_none());
+    }
+
+    #[test]
+    fn gc_contents_are_plausible() {
+        for v in epidemic_viruses() {
+            assert!(v.gc_content > 0.2 && v.gc_content < 0.8, "{}", v.name);
+            assert!(v.genome_length > 1_000, "{}", v.name);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Minimal FASTA reading and writing.
+//!
+//! Reference genomes (real or simulated) are exchanged as FASTA text. The
+//! parser is deliberately strict about the alphabet — ambiguous IUPAC codes
+//! are rejected because the pore model cannot produce an expected current for
+//! them — but tolerant about line lengths and blank lines.
+
+use crate::sequence::{ParseSequenceError, Sequence};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// A single FASTA record: a header line and its sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct FastaRecord {
+    /// Identifier: the first whitespace-delimited token after `>`.
+    pub id: String,
+    /// Everything after the identifier on the header line.
+    pub description: String,
+    /// The record's sequence.
+    pub sequence: Sequence,
+}
+
+impl FastaRecord {
+    /// Creates a record with an empty description.
+    pub fn new(id: impl Into<String>, sequence: Sequence) -> Self {
+        FastaRecord {
+            id: id.into(),
+            description: String::new(),
+            sequence,
+        }
+    }
+}
+
+/// Errors produced while parsing FASTA text.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Sequence data appeared before any `>` header.
+    MissingHeader { line: usize },
+    /// A sequence line contained an invalid character.
+    InvalidSequence { line: usize, source: ParseSequenceError },
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "i/o error while reading fasta: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before any '>' header at line {line}")
+            }
+            FastaError::InvalidSequence { line, source } => {
+                write!(f, "invalid sequence at line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FastaError::Io(e) => Some(e),
+            FastaError::MissingHeader { .. } => None,
+            FastaError::InvalidSequence { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<io::Error> for FastaError {
+    fn from(value: io::Error) -> Self {
+        FastaError::Io(value)
+    }
+}
+
+/// Parses all records from a FASTA reader.
+///
+/// A `&mut` reference may be passed for `reader` since `BufRead` is
+/// implemented for mutable references.
+///
+/// # Errors
+///
+/// Returns [`FastaError`] if the input is not valid FASTA or an I/O error
+/// occurs.
+///
+/// # Examples
+///
+/// ```
+/// use sf_genome::fasta;
+///
+/// let text = ">virus test genome\nACGT\nACGT\n>second\nGGGG\n";
+/// let records = fasta::read(text.as_bytes())?;
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].id, "virus");
+/// assert_eq!(records[0].description, "test genome");
+/// assert_eq!(records[0].sequence.len(), 8);
+/// # Ok::<(), sf_genome::fasta::FastaError>(())
+/// ```
+pub fn read<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records: Vec<FastaRecord> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(header) = trimmed.strip_prefix('>') {
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            records.push(FastaRecord {
+                id,
+                description,
+                sequence: Sequence::new(),
+            });
+        } else {
+            let record = records
+                .last_mut()
+                .ok_or(FastaError::MissingHeader { line: line_no })?;
+            let parsed: Sequence = trimmed
+                .parse()
+                .map_err(|source| FastaError::InvalidSequence { line: line_no, source })?;
+            record.sequence.extend(parsed.iter());
+        }
+    }
+    Ok(records)
+}
+
+/// Parses FASTA records from an in-memory string.
+///
+/// # Errors
+///
+/// Same as [`read`].
+pub fn read_str(text: &str) -> Result<Vec<FastaRecord>, FastaError> {
+    read(text.as_bytes())
+}
+
+/// Writes records to a writer, wrapping sequence lines at `width` bases.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write<W: Write>(mut writer: W, records: &[FastaRecord], width: usize) -> io::Result<()> {
+    let width = width.max(1);
+    for record in records {
+        if record.description.is_empty() {
+            writeln!(writer, ">{}", record.id)?;
+        } else {
+            writeln!(writer, ">{} {}", record.id, record.description)?;
+        }
+        let text = record.sequence.to_string();
+        let bytes = text.as_bytes();
+        for chunk in bytes.chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Formats records as a FASTA string with 70-column wrapping.
+pub fn to_string(records: &[FastaRecord]) -> String {
+    let mut buf = Vec::new();
+    write(&mut buf, records, 70).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("fasta output is ascii")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let text = ">a first record\nACGT\nTTAA\n\n>b\nGG\n";
+        let records = read_str(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "a");
+        assert_eq!(records[0].description, "first record");
+        assert_eq!(records[0].sequence.to_string(), "ACGTTTAA");
+        assert_eq!(records[1].id, "b");
+        assert_eq!(records[1].description, "");
+        assert_eq!(records[1].sequence.to_string(), "GG");
+    }
+
+    #[test]
+    fn sequence_before_header_is_error() {
+        let err = read_str("ACGT\n").unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn invalid_character_is_error_with_line() {
+        let err = read_str(">x\nACGT\nACNN\n").unwrap_err();
+        match err {
+            FastaError::InvalidSequence { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_wraps_lines() {
+        let record = FastaRecord::new("seq1", "ACGTACGTAC".parse().unwrap());
+        let mut out = Vec::new();
+        write(&mut out, &[record], 4).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, ">seq1\nACGT\nACGT\nAC\n");
+    }
+
+    #[test]
+    fn round_trip_through_string() {
+        let records = vec![
+            FastaRecord {
+                id: "covid".into(),
+                description: "simulated".into(),
+                sequence: "ACGTACGTACGTTTTT".parse().unwrap(),
+            },
+            FastaRecord::new("lambda", "GGGGCCCC".parse().unwrap()),
+        ];
+        let text = to_string(&records);
+        let parsed = read_str(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn empty_input_gives_no_records() {
+        assert!(read_str("").unwrap().is_empty());
+        assert!(read_str("\n\n").unwrap().is_empty());
+    }
+}

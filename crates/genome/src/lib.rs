@@ -1,0 +1,40 @@
+//! DNA sequences, genomes and mutation models for the SquiggleFilter
+//! reproduction.
+//!
+//! This crate is the lowest-level substrate of the workspace. It provides:
+//!
+//! * the DNA alphabet ([`Base`]) and sequence containers ([`Sequence`],
+//!   [`PackedSequence`]),
+//! * FASTA I/O ([`fasta`]),
+//! * seeded random genome generation ([`random`]) used in place of the
+//!   paper's real lambda-phage / SARS-CoV-2 / human datasets,
+//! * mutation and strain models ([`mutate`], [`strain`]) for Table 2 and the
+//!   Figure 19 robustness sweep,
+//! * the epidemic-virus catalog ([`catalog`]) behind Figure 10.
+//!
+//! # Example
+//!
+//! ```
+//! use sf_genome::{random::covid_like_genome, strain::simulate_table2_strains};
+//!
+//! let reference = covid_like_genome(1);
+//! assert_eq!(reference.len(), sf_genome::catalog::SARS_COV_2_LENGTH);
+//!
+//! let strains = simulate_table2_strains(&reference, 42);
+//! assert!(strains.iter().all(|s| s.substitution_count() <= 23));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod base;
+pub mod catalog;
+pub mod fasta;
+pub mod mutate;
+pub mod random;
+pub mod sequence;
+pub mod strain;
+
+pub use base::{Base, ParseBaseError};
+pub use catalog::{GenomeKind, VirusInfo};
+pub use sequence::{PackedSequence, ParseSequenceError, Sequence};

@@ -1,0 +1,281 @@
+//! Mutation models: substitutions, insertions and deletions.
+//!
+//! Used for two purposes in the reproduction:
+//!
+//! * generating viral *strains* that differ from the filter's reference by a
+//!   handful of SNPs (Table 2),
+//! * sweeping the number of random reference mutations to measure filter
+//!   robustness (Figure 19).
+
+use crate::base::Base;
+use crate::sequence::Sequence;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A single mutation applied to a reference sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Mutation {
+    /// Replace the base at `position` with `to`.
+    Substitution { position: usize, to: Base },
+    /// Insert `base` *before* `position`.
+    Insertion { position: usize, base: Base },
+    /// Delete the base at `position`.
+    Deletion { position: usize },
+}
+
+impl Mutation {
+    /// Reference position the mutation touches.
+    pub fn position(&self) -> usize {
+        match *self {
+            Mutation::Substitution { position, .. }
+            | Mutation::Insertion { position, .. }
+            | Mutation::Deletion { position } => position,
+        }
+    }
+}
+
+/// Applies a set of mutations to `reference`, producing the mutated sequence.
+///
+/// Mutations are interpreted against *reference coordinates*; they are applied
+/// from highest position to lowest so that earlier edits do not shift later
+/// ones. Multiple mutations at the same position are applied in the order
+/// deletion, substitution, insertion (at most one of each is meaningful).
+///
+/// # Examples
+///
+/// ```
+/// use sf_genome::{mutate::{apply, Mutation}, Base, Sequence};
+///
+/// let reference: Sequence = "ACGT".parse().unwrap();
+/// let mutated = apply(&reference, &[
+///     Mutation::Substitution { position: 1, to: Base::T },
+///     Mutation::Deletion { position: 3 },
+/// ]);
+/// assert_eq!(mutated.to_string(), "ATG");
+/// ```
+pub fn apply(reference: &Sequence, mutations: &[Mutation]) -> Sequence {
+    let mut bases: Vec<Option<Vec<Base>>> = reference.iter().map(|b| Some(vec![b])).collect();
+    // One extra slot to allow insertion at the very end.
+    bases.push(Some(Vec::new()));
+    for mutation in mutations {
+        match *mutation {
+            Mutation::Substitution { position, to } => {
+                if let Some(Some(cell)) = bases.get_mut(position) {
+                    if let Some(first) = cell.first_mut() {
+                        *first = to;
+                    }
+                }
+            }
+            Mutation::Insertion { position, base } => {
+                if let Some(Some(cell)) = bases.get_mut(position) {
+                    cell.insert(0, base);
+                }
+            }
+            Mutation::Deletion { position } => {
+                if let Some(Some(cell)) = bases.get_mut(position) {
+                    if !cell.is_empty() {
+                        cell.remove(cell.len() - 1);
+                    }
+                }
+            }
+        }
+    }
+    bases
+        .into_iter()
+        .flatten()
+        .flatten()
+        .collect()
+}
+
+/// Random mutation generator with independent SNP/insertion/deletion counts.
+///
+/// All positions are distinct, which matches how strain differences are
+/// reported in the paper (each listed mutation is a separate genome site).
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    seed: u64,
+    substitutions: usize,
+    insertions: usize,
+    deletions: usize,
+}
+
+impl Mutator {
+    /// Creates a mutator that produces no mutations.
+    pub fn new(seed: u64) -> Self {
+        Mutator {
+            seed,
+            substitutions: 0,
+            insertions: 0,
+            deletions: 0,
+        }
+    }
+
+    /// Number of single-base substitutions to generate.
+    pub fn substitutions(mut self, n: usize) -> Self {
+        self.substitutions = n;
+        self
+    }
+
+    /// Number of single-base insertions to generate.
+    pub fn insertions(mut self, n: usize) -> Self {
+        self.insertions = n;
+        self
+    }
+
+    /// Number of single-base deletions to generate.
+    pub fn deletions(mut self, n: usize) -> Self {
+        self.deletions = n;
+        self
+    }
+
+    /// Generates the mutation list against `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total number of requested mutations exceeds the
+    /// reference length (distinct positions would be impossible).
+    pub fn generate(&self, reference: &Sequence) -> Vec<Mutation> {
+        let total = self.substitutions + self.insertions + self.deletions;
+        assert!(
+            total <= reference.len(),
+            "requested {total} mutations but the reference has only {} bases",
+            reference.len()
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut positions: Vec<usize> = (0..reference.len()).collect();
+        positions.shuffle(&mut rng);
+        let mut chosen = positions.into_iter();
+        let mut mutations = Vec::with_capacity(total);
+        for _ in 0..self.substitutions {
+            let position = chosen.next().expect("enough positions");
+            let from = reference[position];
+            let to = from.rotate(rng.random_range(1..4));
+            mutations.push(Mutation::Substitution { position, to });
+        }
+        for _ in 0..self.insertions {
+            let position = chosen.next().expect("enough positions");
+            let base = Base::from_code(rng.random_range(0..4));
+            mutations.push(Mutation::Insertion { position, base });
+        }
+        for _ in 0..self.deletions {
+            let position = chosen.next().expect("enough positions");
+            mutations.push(Mutation::Deletion { position });
+        }
+        mutations.sort_by_key(|m| m.position());
+        mutations
+    }
+
+    /// Generates the mutations and applies them, returning the mutated genome
+    /// alongside the mutation list.
+    pub fn mutate(&self, reference: &Sequence) -> (Sequence, Vec<Mutation>) {
+        let mutations = self.generate(reference);
+        (apply(reference, &mutations), mutations)
+    }
+}
+
+/// Convenience: apply exactly `n` random substitutions to `reference`.
+///
+/// This is the operation swept in Figure 19 (filter robustness against
+/// reference mutations).
+pub fn random_substitutions(reference: &Sequence, n: usize, seed: u64) -> Sequence {
+    Mutator::new(seed).substitutions(n).mutate(reference).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_genome;
+
+    #[test]
+    fn apply_substitution() {
+        let reference: Sequence = "AAAA".parse().unwrap();
+        let out = apply(&reference, &[Mutation::Substitution { position: 2, to: Base::G }]);
+        assert_eq!(out.to_string(), "AAGA");
+    }
+
+    #[test]
+    fn apply_insertion_and_deletion() {
+        let reference: Sequence = "ACGT".parse().unwrap();
+        let out = apply(&reference, &[Mutation::Insertion { position: 0, base: Base::T }]);
+        assert_eq!(out.to_string(), "TACGT");
+        let out = apply(&reference, &[Mutation::Insertion { position: 4, base: Base::T }]);
+        assert_eq!(out.to_string(), "ACGTT");
+        let out = apply(&reference, &[Mutation::Deletion { position: 0 }]);
+        assert_eq!(out.to_string(), "CGT");
+    }
+
+    #[test]
+    fn apply_out_of_range_is_ignored() {
+        let reference: Sequence = "ACGT".parse().unwrap();
+        let out = apply(&reference, &[Mutation::Deletion { position: 99 }]);
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn substitutions_change_exactly_n_positions() {
+        let reference = random_genome(11, 10_000);
+        for n in [0, 1, 17, 500] {
+            let mutated = random_substitutions(&reference, n, 3);
+            assert_eq!(mutated.len(), reference.len());
+            assert_eq!(mutated.mismatches(&reference), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn indel_counts_change_length() {
+        let reference = random_genome(12, 5_000);
+        let (mutated, muts) = Mutator::new(4)
+            .insertions(10)
+            .deletions(3)
+            .mutate(&reference);
+        assert_eq!(muts.len(), 13);
+        assert_eq!(mutated.len(), reference.len() + 10 - 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let reference = random_genome(13, 2_000);
+        let a = Mutator::new(7).substitutions(20).generate(&reference);
+        let b = Mutator::new(7).substitutions(20).generate(&reference);
+        assert_eq!(a, b);
+        let c = Mutator::new(8).substitutions(20).generate(&reference);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn substitutions_never_produce_reference_base() {
+        let reference = random_genome(14, 3_000);
+        let muts = Mutator::new(9).substitutions(300).generate(&reference);
+        for m in muts {
+            if let Mutation::Substitution { position, to } = m {
+                assert_ne!(reference[position], to);
+            }
+        }
+    }
+
+    #[test]
+    fn positions_are_distinct_and_sorted() {
+        let reference = random_genome(15, 1_000);
+        let muts = Mutator::new(10)
+            .substitutions(50)
+            .insertions(20)
+            .deletions(20)
+            .generate(&reference);
+        let positions: Vec<usize> = muts.iter().map(|m| m.position()).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+        let mut dedup = sorted.clone();
+        dedup.dedup();
+        assert_eq!(sorted.len(), dedup.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "mutations")]
+    fn too_many_mutations_panics() {
+        let reference: Sequence = "ACGT".parse().unwrap();
+        let _ = Mutator::new(0).substitutions(10).generate(&reference);
+    }
+}

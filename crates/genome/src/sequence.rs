@@ -1,0 +1,455 @@
+//! DNA sequences and views over them.
+
+use crate::base::{Base, ParseBaseError};
+use std::fmt;
+use std::ops::Index;
+
+/// An owned DNA sequence (one byte per base).
+///
+/// `Sequence` is the working representation used throughout the workspace:
+/// simple, indexable and cheap to slice. For storage-sensitive contexts (whole
+/// simulated human-like backgrounds) use [`PackedSequence`](crate::PackedSequence).
+///
+/// # Examples
+///
+/// ```
+/// use sf_genome::Sequence;
+///
+/// let seq: Sequence = "ACGTACGT".parse()?;
+/// assert_eq!(seq.len(), 8);
+/// assert_eq!(seq.gc_content(), 0.5);
+/// assert_eq!(seq.reverse_complement().to_string(), "ACGTACGT");
+/// # Ok::<(), sf_genome::ParseSequenceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Sequence {
+    bases: Vec<Base>,
+}
+
+/// Error produced when parsing a string that contains a non-DNA character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseSequenceError {
+    /// Byte offset of the invalid character.
+    pub position: usize,
+    /// The underlying character error.
+    pub source: ParseBaseError,
+}
+
+impl fmt::Display for ParseSequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid base {:?} at position {}",
+            self.source.found, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseSequenceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl Sequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Sequence { bases: Vec::new() }
+    }
+
+    /// Creates an empty sequence with room for `capacity` bases.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Sequence {
+            bases: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a sequence from a vector of bases.
+    pub fn from_bases(bases: Vec<Base>) -> Self {
+        Sequence { bases }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Returns `true` when the sequence contains no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Borrow the bases as a slice.
+    pub fn as_slice(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// Consumes the sequence and returns the underlying base vector.
+    pub fn into_bases(self) -> Vec<Base> {
+        self.bases
+    }
+
+    /// Appends a single base.
+    pub fn push(&mut self, base: Base) {
+        self.bases.push(base);
+    }
+
+    /// Returns the base at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        self.bases.get(index).copied()
+    }
+
+    /// Iterator over bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        self.bases.iter().copied()
+    }
+
+    /// Returns the sub-sequence `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    pub fn subsequence(&self, start: usize, end: usize) -> Sequence {
+        Sequence {
+            bases: self.bases[start..end].to_vec(),
+        }
+    }
+
+    /// Returns the reverse complement of the sequence.
+    pub fn reverse_complement(&self) -> Sequence {
+        Sequence {
+            bases: self.bases.iter().rev().map(|b| b.complement()).collect(),
+        }
+    }
+
+    /// Fraction of G/C bases; `0.0` for an empty sequence.
+    pub fn gc_content(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let gc = self.bases.iter().filter(|b| b.is_gc()).count();
+        gc as f64 / self.bases.len() as f64
+    }
+
+    /// Iterator over all overlapping k-mers as base slices.
+    ///
+    /// Yields nothing when `k == 0` or `k > self.len()`.
+    pub fn kmers(&self, k: usize) -> impl Iterator<Item = &[Base]> + '_ {
+        // `windows` panics on a window size of zero, so clamp to 1 and then
+        // yield nothing in the k == 0 case.
+        let take = if k == 0 { 0 } else { usize::MAX };
+        self.bases.windows(k.max(1)).take(take)
+    }
+
+    /// Iterator over the 2-bit packed integer rank of every overlapping k-mer.
+    ///
+    /// The rank is the base-4 number formed by the bases in order (first base
+    /// most significant), i.e. the index into a pore-model table of size
+    /// `4^k`. Yields nothing when `k == 0` or `k > self.len()`.
+    pub fn kmer_ranks(&self, k: usize) -> impl Iterator<Item = usize> + '_ {
+        self.kmers(k).map(move |kmer| {
+            kmer.iter()
+                .fold(0usize, |acc, b| (acc << 2) | b.code() as usize)
+        })
+    }
+
+    /// Counts the positions at which `self` and `other` differ, comparing only
+    /// the common prefix; length differences are added as additional
+    /// mismatches (a crude Hamming-style distance used by strain tests).
+    pub fn mismatches(&self, other: &Sequence) -> usize {
+        let common = self.len().min(other.len());
+        let diff = (0..common)
+            .filter(|&i| self.bases[i] != other.bases[i])
+            .count();
+        diff + self.len().abs_diff(other.len())
+    }
+}
+
+impl Index<usize> for Sequence {
+    type Output = Base;
+
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.bases[index]
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for base in &self.bases {
+            write!(f, "{}", base.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Sequence {
+    type Err = ParseSequenceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bases = Vec::with_capacity(s.len());
+        for (position, ch) in s.chars().enumerate() {
+            if ch.is_ascii_whitespace() {
+                continue;
+            }
+            let base = Base::try_from(ch).map_err(|source| ParseSequenceError { position, source })?;
+            bases.push(base);
+        }
+        Ok(Sequence { bases })
+    }
+}
+
+impl FromIterator<Base> for Sequence {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        Sequence {
+            bases: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Base> for Sequence {
+    fn extend<T: IntoIterator<Item = Base>>(&mut self, iter: T) {
+        self.bases.extend(iter);
+    }
+}
+
+impl From<Vec<Base>> for Sequence {
+    fn from(bases: Vec<Base>) -> Self {
+        Sequence { bases }
+    }
+}
+
+impl<'a> IntoIterator for &'a Sequence {
+    type Item = Base;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Base>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bases.iter().copied()
+    }
+}
+
+/// A 2-bit-per-base packed DNA sequence.
+///
+/// Four bases are stored per byte, mirroring the encoding used by the
+/// accelerator's reference buffer. The packed form is 4× smaller than
+/// [`Sequence`] and is used for large simulated backgrounds.
+///
+/// ```
+/// use sf_genome::{PackedSequence, Sequence};
+///
+/// let seq: Sequence = "ACGTACGTT".parse().unwrap();
+/// let packed = PackedSequence::from_sequence(&seq);
+/// assert_eq!(packed.len(), 9);
+/// assert_eq!(packed.to_sequence(), seq);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PackedSequence {
+    /// Packed 2-bit codes, first base in the low bits of byte 0.
+    data: Vec<u8>,
+    /// Number of bases actually stored.
+    len: usize,
+}
+
+impl PackedSequence {
+    /// Creates an empty packed sequence.
+    pub fn new() -> Self {
+        PackedSequence::default()
+    }
+
+    /// Packs an existing [`Sequence`].
+    pub fn from_sequence(seq: &Sequence) -> Self {
+        let mut packed = PackedSequence {
+            data: Vec::with_capacity(seq.len().div_ceil(4)),
+            len: 0,
+        };
+        for base in seq.iter() {
+            packed.push(base);
+        }
+        packed
+    }
+
+    /// Number of bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of bytes used by the packed representation.
+    pub fn packed_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Appends a base.
+    pub fn push(&mut self, base: Base) {
+        let bit_offset = (self.len % 4) * 2;
+        if bit_offset == 0 {
+            self.data.push(base.code());
+        } else {
+            let last = self.data.last_mut().expect("non-empty data when offset > 0");
+            *last |= base.code() << bit_offset;
+        }
+        self.len += 1;
+    }
+
+    /// Returns the base at `index`, or `None` when out of bounds.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        if index >= self.len {
+            return None;
+        }
+        let byte = self.data[index / 4];
+        let code = (byte >> ((index % 4) * 2)) & 0b11;
+        Some(Base::from_code(code))
+    }
+
+    /// Unpacks into an ordinary [`Sequence`].
+    pub fn to_sequence(&self) -> Sequence {
+        (0..self.len)
+            .map(|i| self.get(i).expect("index in range"))
+            .collect()
+    }
+
+    /// Iterator over the stored bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        (0..self.len).map(move |i| self.get(i).expect("index in range"))
+    }
+}
+
+impl FromIterator<Base> for PackedSequence {
+    fn from_iter<T: IntoIterator<Item = Base>>(iter: T) -> Self {
+        let mut packed = PackedSequence::new();
+        for base in iter {
+            packed.push(base);
+        }
+        packed
+    }
+}
+
+impl From<&Sequence> for PackedSequence {
+    fn from(value: &Sequence) -> Self {
+        PackedSequence::from_sequence(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let seq = Sequence::from_str("ACGTTGCA").unwrap();
+        assert_eq!(seq.to_string(), "ACGTTGCA");
+        assert_eq!(seq.len(), 8);
+    }
+
+    #[test]
+    fn parse_skips_whitespace() {
+        let seq = Sequence::from_str("ACG T\nTA").unwrap();
+        assert_eq!(seq.to_string(), "ACGTTA");
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = Sequence::from_str("ACGNX").unwrap_err();
+        assert_eq!(err.position, 3);
+        assert_eq!(err.source.found, 'N');
+    }
+
+    #[test]
+    fn reverse_complement_of_palindrome() {
+        let seq = Sequence::from_str("GAATTC").unwrap();
+        assert_eq!(seq.reverse_complement().to_string(), "GAATTC");
+    }
+
+    #[test]
+    fn reverse_complement_twice_is_identity() {
+        let seq = Sequence::from_str("ACGGTTAACCGT").unwrap();
+        assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn gc_content() {
+        let seq = Sequence::from_str("GGCC").unwrap();
+        assert_eq!(seq.gc_content(), 1.0);
+        let seq = Sequence::from_str("AATT").unwrap();
+        assert_eq!(seq.gc_content(), 0.0);
+        assert_eq!(Sequence::new().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn subsequence_and_index() {
+        let seq = Sequence::from_str("ACGTACGT").unwrap();
+        let sub = seq.subsequence(2, 6);
+        assert_eq!(sub.to_string(), "GTAC");
+        assert_eq!(seq[0], Base::A);
+        assert_eq!(seq[3], Base::T);
+    }
+
+    #[test]
+    fn kmer_iteration() {
+        let seq = Sequence::from_str("ACGTA").unwrap();
+        let kmers: Vec<String> = seq
+            .kmers(3)
+            .map(|k| k.iter().map(|b| b.to_char()).collect())
+            .collect();
+        assert_eq!(kmers, vec!["ACG", "CGT", "GTA"]);
+        assert_eq!(seq.kmers(6).count(), 0);
+        assert_eq!(seq.kmers(0).count(), 0);
+    }
+
+    #[test]
+    fn kmer_ranks_match_manual_encoding() {
+        let seq = Sequence::from_str("ACGT").unwrap();
+        let ranks: Vec<usize> = seq.kmer_ranks(2).collect();
+        // AC = 0*4+1, CG = 1*4+2, GT = 2*4+3
+        assert_eq!(ranks, vec![1, 6, 11]);
+    }
+
+    #[test]
+    fn mismatches_counts_hamming_and_length() {
+        let a = Sequence::from_str("ACGT").unwrap();
+        let b = Sequence::from_str("ACCT").unwrap();
+        assert_eq!(a.mismatches(&b), 1);
+        let c = Sequence::from_str("ACGTAA").unwrap();
+        assert_eq!(a.mismatches(&c), 2);
+        assert_eq!(a.mismatches(&a), 0);
+    }
+
+    #[test]
+    fn packed_round_trip_various_lengths() {
+        for len in 0..17 {
+            let seq: Sequence = (0..len).map(|i| Base::from_code(i as u8)).collect();
+            let packed = PackedSequence::from_sequence(&seq);
+            assert_eq!(packed.len(), len);
+            assert_eq!(packed.to_sequence(), seq);
+        }
+    }
+
+    #[test]
+    fn packed_uses_quarter_of_space() {
+        let seq: Sequence = std::iter::repeat(Base::G).take(1000).collect();
+        let packed = PackedSequence::from_sequence(&seq);
+        assert_eq!(packed.packed_bytes(), 250);
+    }
+
+    #[test]
+    fn packed_get_out_of_bounds_is_none() {
+        let packed: PackedSequence = [Base::A, Base::C].into_iter().collect();
+        assert_eq!(packed.get(2), None);
+        assert_eq!(packed.get(1), Some(Base::C));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let seq: Sequence = [Base::A, Base::C, Base::G].into_iter().collect();
+        assert_eq!(seq.to_string(), "ACG");
+        let mut seq = seq;
+        seq.extend([Base::T]);
+        assert_eq!(seq.to_string(), "ACGT");
+    }
+}

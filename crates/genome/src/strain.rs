@@ -1,0 +1,168 @@
+//! Viral strain simulation (Table 2).
+//!
+//! The paper shows that circulating SARS-CoV-2 strains differ from the Wuhan
+//! reference by only 17–23 single-base substitutions (and no indels), which is
+//! why a single static reference squiggle filters all strains. This module
+//! simulates a set of clades with exactly those mutation counts so Table 2 and
+//! the strain-tolerance claims can be reproduced without GISAID access.
+
+use crate::mutate::{Mutation, Mutator};
+use crate::sequence::Sequence;
+
+/// A simulated viral strain derived from a reference genome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Strain {
+    /// Clade label (e.g. `"19A"`).
+    pub clade: String,
+    /// Metadata mimicking the paper's GISAID provenance columns.
+    pub origin: StrainOrigin,
+    /// The mutations relative to the reference.
+    pub mutations: Vec<Mutation>,
+    /// The full mutated genome.
+    pub genome: Sequence,
+}
+
+/// Provenance metadata for a strain (lab of origin and country).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct StrainOrigin {
+    /// Identifier standing in for the GISAID accession.
+    pub accession: String,
+    /// Submitting laboratory.
+    pub lab: String,
+    /// Country of collection.
+    pub country: String,
+}
+
+impl Strain {
+    /// Number of single-base substitutions relative to the reference.
+    pub fn substitution_count(&self) -> usize {
+        self.mutations
+            .iter()
+            .filter(|m| matches!(m, Mutation::Substitution { .. }))
+            .count()
+    }
+
+    /// Number of insertions or deletions relative to the reference
+    /// (expected to be zero for SARS-CoV-2 clades, per Table 2).
+    pub fn indel_count(&self) -> usize {
+        self.mutations.len() - self.substitution_count()
+    }
+}
+
+/// The clade set reproduced in Table 2: clade label, SNP count and provenance.
+pub fn table2_clade_definitions() -> Vec<(&'static str, usize, StrainOrigin)> {
+    vec![
+        ("19A", 23, StrainOrigin { accession: "593737".into(), lab: "SE Area Lab Services".into(), country: "Australia".into() }),
+        ("19B", 18, StrainOrigin { accession: "614393".into(), lab: "Bouake CHU Lab".into(), country: "Ivory Coast".into() }),
+        ("20A", 22, StrainOrigin { accession: "644615".into(), lab: "Dept. Clinical Microbiology".into(), country: "Belgium".into() }),
+        ("20B", 17, StrainOrigin { accession: "602902".into(), lab: "NHLS-IALCH".into(), country: "South Africa".into() }),
+        ("20C", 17, StrainOrigin { accession: "582807".into(), lab: "Public Health Agency".into(), country: "Sweden".into() }),
+    ]
+}
+
+/// Generates the five Table 2 clades from `reference` with a deterministic
+/// per-clade seed derived from `seed`.
+///
+/// Each strain carries exactly the SNP count reported in the paper and no
+/// insertions or deletions.
+///
+/// # Examples
+///
+/// ```
+/// use sf_genome::{random::covid_like_genome, strain::simulate_table2_strains};
+///
+/// let reference = covid_like_genome(1);
+/// let strains = simulate_table2_strains(&reference, 42);
+/// assert_eq!(strains.len(), 5);
+/// assert_eq!(strains[0].clade, "19A");
+/// assert_eq!(strains[0].substitution_count(), 23);
+/// assert_eq!(strains[0].indel_count(), 0);
+/// ```
+pub fn simulate_table2_strains(reference: &Sequence, seed: u64) -> Vec<Strain> {
+    table2_clade_definitions()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (clade, snps, origin))| {
+            simulate_strain(reference, clade, snps, origin, seed.wrapping_add(i as u64 + 1))
+        })
+        .collect()
+}
+
+/// Generates a single strain with `snps` substitutions (no indels).
+pub fn simulate_strain(
+    reference: &Sequence,
+    clade: &str,
+    snps: usize,
+    origin: StrainOrigin,
+    seed: u64,
+) -> Strain {
+    let (genome, mutations) = Mutator::new(seed).substitutions(snps).mutate(reference);
+    Strain {
+        clade: clade.to_string(),
+        origin,
+        mutations,
+        genome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_genome;
+
+    #[test]
+    fn table2_counts_match_paper() {
+        let reference = random_genome(100, 29_903);
+        let strains = simulate_table2_strains(&reference, 7);
+        let counts: Vec<(String, usize)> = strains
+            .iter()
+            .map(|s| (s.clade.clone(), s.substitution_count()))
+            .collect();
+        assert_eq!(
+            counts,
+            vec![
+                ("19A".to_string(), 23),
+                ("19B".to_string(), 18),
+                ("20A".to_string(), 22),
+                ("20B".to_string(), 17),
+                ("20C".to_string(), 17),
+            ]
+        );
+        for s in &strains {
+            assert_eq!(s.indel_count(), 0, "clade {} should have no indels", s.clade);
+            assert_eq!(s.genome.len(), reference.len());
+            assert_eq!(s.genome.mismatches(&reference), s.substitution_count());
+        }
+    }
+
+    #[test]
+    fn strains_differ_from_each_other() {
+        let reference = random_genome(100, 10_000);
+        let strains = simulate_table2_strains(&reference, 7);
+        for (i, a) in strains.iter().enumerate() {
+            for b in strains.iter().skip(i + 1) {
+                assert_ne!(a.genome, b.genome);
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_in_seed() {
+        let reference = random_genome(5, 5_000);
+        let a = simulate_table2_strains(&reference, 1);
+        let b = simulate_table2_strains(&reference, 1);
+        assert_eq!(a, b);
+        let c = simulate_table2_strains(&reference, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn origins_preserved() {
+        let reference = random_genome(5, 2_000);
+        let strains = simulate_table2_strains(&reference, 1);
+        assert_eq!(strains[3].origin.country, "South Africa");
+        assert_eq!(strains[4].origin.lab, "Public Health Agency");
+    }
+}

@@ -1,0 +1,178 @@
+//! ASIC area and power roll-up (paper Table 4).
+//!
+//! The paper synthesizes SquiggleFilter for a 28 nm TSMC HPC process at
+//! 2.5 GHz and reports per-element area and power. We cannot run the
+//! synthesis flow, so this module encodes those per-element results and
+//! reproduces the roll-up arithmetic for 1-tile and 5-tile configurations
+//! (plus arbitrary tile counts for scalability studies).
+
+use crate::normalizer_hw::{NORMALIZER_AREA_MM2, NORMALIZER_POWER_W};
+use crate::pe::{PE_AREA_MM2, PE_POWER_W};
+use crate::tile::PES_PER_TILE;
+
+/// Area and power of one design element.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ElementBudget {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+/// Per-element synthesis results (Table 4, 28 nm TSMC HPC @ 2.5 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct AsicModel {
+    /// The streaming normalizer.
+    pub normalizer: ElementBudget,
+    /// One processing element.
+    pub processing_element: ElementBudget,
+    /// One ping-pong query buffer (2000 × 10-bit samples).
+    pub query_buffer: ElementBudget,
+    /// One reference buffer (100 KB).
+    pub reference_buffer: ElementBudget,
+    /// Synthesized total of one tile (the 2000-PE array plus its control
+    /// and interconnect), as reported in Table 4. The tile total is *not*
+    /// exactly 2000 × the standalone PE numbers because synthesis optimizes
+    /// the array as a whole.
+    pub tile_total: ElementBudget,
+    /// Number of PEs per tile.
+    pub pes_per_tile: usize,
+}
+
+impl Default for AsicModel {
+    fn default() -> Self {
+        AsicModel {
+            normalizer: ElementBudget { area_mm2: NORMALIZER_AREA_MM2, power_w: NORMALIZER_POWER_W },
+            processing_element: ElementBudget { area_mm2: PE_AREA_MM2, power_w: PE_POWER_W },
+            query_buffer: ElementBudget { area_mm2: 0.023, power_w: 0.009 },
+            reference_buffer: ElementBudget { area_mm2: 0.185, power_w: 0.028 },
+            tile_total: ElementBudget { area_mm2: 2.423, power_w: 2.780 },
+            pes_per_tile: PES_PER_TILE,
+        }
+    }
+}
+
+impl AsicModel {
+    /// Area and power of one tile's PE array (the Table 4 "Tile" row).
+    pub fn tile(&self) -> ElementBudget {
+        self.tile_total
+    }
+
+    /// Naive 2000 × standalone-PE roll-up (slightly larger than the tile
+    /// total because synthesis optimizes the array as a whole).
+    pub fn pe_array_upper_bound(&self) -> ElementBudget {
+        ElementBudget {
+            area_mm2: self.processing_element.area_mm2 * self.pes_per_tile as f64,
+            power_w: self.processing_element.power_w * self.pes_per_tile as f64,
+        }
+    }
+
+    /// Area and power of one complete tile instance as placed in the ASIC:
+    /// the PE array plus its two ping-pong query buffers, reference buffer
+    /// and normalizer.
+    pub fn tile_instance(&self) -> ElementBudget {
+        ElementBudget {
+            area_mm2: self.tile_total.area_mm2
+                + 2.0 * self.query_buffer.area_mm2
+                + self.reference_buffer.area_mm2
+                + self.normalizer.area_mm2,
+            power_w: self.tile_total.power_w
+                + 2.0 * self.query_buffer.power_w
+                + self.reference_buffer.power_w
+                + self.normalizer.power_w,
+        }
+    }
+
+    /// Area and power of a complete ASIC with `tiles` tiles (the paper's
+    /// design has 5).
+    pub fn asic(&self, tiles: usize) -> ElementBudget {
+        let tile = self.tile_instance();
+        ElementBudget {
+            area_mm2: tiles as f64 * tile.area_mm2,
+            power_w: tiles as f64 * tile.power_w,
+        }
+    }
+
+    /// Fraction of tile area occupied by the reference buffer (the paper
+    /// reports 6.98 %, justifying per-tile duplication of the reference).
+    pub fn reference_buffer_area_fraction(&self) -> f64 {
+        self.reference_buffer.area_mm2 / self.tile_instance().area_mm2
+    }
+
+    /// Renders the Table 4 rows: `(element, area mm², power W)`.
+    pub fn table4_rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let tile = self.tile();
+        let one = self.asic(1);
+        let five = self.asic(5);
+        vec![
+            ("Normalizer", self.normalizer.area_mm2, self.normalizer.power_w),
+            ("Processing Element", self.processing_element.area_mm2, self.processing_element.power_w),
+            ("Tile (1x2000 PEs)", tile.area_mm2, tile.power_w),
+            ("Query buffer", self.query_buffer.area_mm2, self.query_buffer.power_w),
+            ("Reference buffer", self.reference_buffer.area_mm2, self.reference_buffer.power_w),
+            ("Complete 1-Tile ASIC", one.area_mm2, one.power_w),
+            ("Complete 5-Tile ASIC", five.area_mm2, five.power_w),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_matches_table4() {
+        let model = AsicModel::default();
+        let tile = model.tile();
+        assert!((tile.area_mm2 - 2.423).abs() < 0.01, "tile area {}", tile.area_mm2);
+        assert!((tile.power_w - 2.780).abs() < 0.01, "tile power {}", tile.power_w);
+        // The naive 2000 × PE roll-up is close to, but above, the tile total.
+        let upper = model.pe_array_upper_bound();
+        assert!(upper.area_mm2 >= tile.area_mm2 * 0.95);
+    }
+
+    #[test]
+    fn one_tile_asic_matches_table4() {
+        let model = AsicModel::default();
+        let asic = model.asic(1);
+        assert!((asic.area_mm2 - 2.65).abs() < 0.05, "1-tile area {}", asic.area_mm2);
+        assert!((asic.power_w - 2.86).abs() < 0.05, "1-tile power {}", asic.power_w);
+    }
+
+    #[test]
+    fn five_tile_asic_matches_table4() {
+        let model = AsicModel::default();
+        let asic = model.asic(5);
+        assert!((asic.area_mm2 - 13.25).abs() < 0.2, "5-tile area {}", asic.area_mm2);
+        assert!((asic.power_w - 14.31).abs() < 0.2, "5-tile power {}", asic.power_w);
+    }
+
+    #[test]
+    fn reference_buffer_is_small_fraction_of_tile() {
+        let model = AsicModel::default();
+        let fraction = model.reference_buffer_area_fraction();
+        assert!((0.05..0.09).contains(&fraction), "fraction {fraction}");
+    }
+
+    #[test]
+    fn area_and_power_scale_linearly_with_tiles() {
+        let model = AsicModel::default();
+        let one = model.asic(1);
+        let three = model.asic(3);
+        assert!((three.area_mm2 - 3.0 * one.area_mm2).abs() < 1e-9);
+        assert!((three.power_w - 3.0 * one.power_w).abs() < 1e-9);
+        let zero = model.asic(0);
+        assert_eq!(zero.area_mm2, 0.0);
+    }
+
+    #[test]
+    fn table4_rows_are_complete() {
+        let rows = AsicModel::default().table4_rows();
+        assert_eq!(rows.len(), 7);
+        assert_eq!(rows[0].0, "Normalizer");
+        assert_eq!(rows[6].0, "Complete 5-Tile ASIC");
+        assert!(rows.iter().all(|(_, a, p)| *a > 0.0 && *p > 0.0));
+    }
+}

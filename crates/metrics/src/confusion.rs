@@ -1,0 +1,179 @@
+//! Binary confusion matrices.
+
+/// Counts of classification outcomes for a binary classifier where
+/// "positive" means "classified as target / kept".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ConfusionMatrix {
+    /// Target reads correctly kept.
+    pub true_positives: u64,
+    /// Background reads incorrectly kept.
+    pub false_positives: u64,
+    /// Background reads correctly ejected.
+    pub true_negatives: u64,
+    /// Target reads incorrectly ejected.
+    pub false_negatives: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, is_target: bool, predicted_target: bool) {
+        match (is_target, predicted_target) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Builds a matrix from an iterator of `(is_target, predicted_target)`
+    /// pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (bool, bool)>>(pairs: I) -> Self {
+        let mut matrix = ConfusionMatrix::new();
+        for (is_target, predicted) in pairs {
+            matrix.record(is_target, predicted);
+        }
+        matrix
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// True-positive rate (recall / sensitivity); 0 when undefined.
+    pub fn true_positive_rate(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_negatives)
+    }
+
+    /// False-positive rate; 0 when undefined.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.false_positives, self.false_positives + self.true_negatives)
+    }
+
+    /// True-negative rate (specificity); 0 when undefined.
+    pub fn true_negative_rate(&self) -> f64 {
+        ratio(self.true_negatives, self.true_negatives + self.false_positives)
+    }
+
+    /// Precision (positive predictive value); 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_positives)
+    }
+
+    /// Recall — alias of [`ConfusionMatrix::true_positive_rate`].
+    pub fn recall(&self) -> f64 {
+        self.true_positive_rate()
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.true_positives + self.true_negatives, self.total())
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        self.f_beta(1.0)
+    }
+
+    /// F-beta score; 0 when undefined.
+    pub fn f_beta(&self, beta: f64) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        let b2 = beta * beta;
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        (1.0 + b2) * p * r / (b2 * p + r)
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+fn ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> ConfusionMatrix {
+        ConfusionMatrix {
+            true_positives: 80,
+            false_negatives: 20,
+            false_positives: 10,
+            true_negatives: 90,
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let m = example();
+        assert_eq!(m.total(), 200);
+        assert!((m.true_positive_rate() - 0.8).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 0.1).abs() < 1e-12);
+        assert!((m.true_negative_rate() - 0.9).abs() < 1e-12);
+        assert!((m.precision() - 80.0 / 90.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_scores() {
+        let m = example();
+        let p = 80.0 / 90.0;
+        let r = 0.8;
+        let expected_f1 = 2.0 * p * r / (p + r);
+        assert!((m.f1() - expected_f1).abs() < 1e-12);
+        // F2 weights recall higher; since recall < precision here, F2 < F1.
+        assert!(m.f_beta(2.0) < m.f1());
+    }
+
+    #[test]
+    fn record_and_from_pairs_agree() {
+        let pairs = vec![(true, true), (true, false), (false, true), (false, false), (true, true)];
+        let from_pairs = ConfusionMatrix::from_pairs(pairs.clone());
+        let mut recorded = ConfusionMatrix::new();
+        for (t, p) in pairs {
+            recorded.record(t, p);
+        }
+        assert_eq!(from_pairs, recorded);
+        assert_eq!(from_pairs.true_positives, 2);
+        assert_eq!(from_pairs.false_negatives, 1);
+        assert_eq!(from_pairs.false_positives, 1);
+        assert_eq!(from_pairs.true_negatives, 1);
+    }
+
+    #[test]
+    fn empty_matrix_is_all_zero() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.true_positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = example();
+        let b = example();
+        a.merge(&b);
+        assert_eq!(a.total(), 400);
+        assert_eq!(a.true_positives, 160);
+    }
+}

@@ -1,0 +1,30 @@
+//! Classification metrics for the SquiggleFilter experiments.
+//!
+//! The accuracy experiments of the paper (Figures 11, 17a, 18, 19) are all
+//! built from the same ingredients: a set of scored, labelled reads, a
+//! threshold sweep producing TPR/FPR curves, F-scores, and cost histograms.
+//! This crate provides those ingredients without depending on any of the
+//! classifiers.
+//!
+//! # Example
+//!
+//! ```
+//! use sf_metrics::{roc_curve, ScoredSample};
+//!
+//! let samples = vec![
+//!     ScoredSample { score: 5.0, is_target: true },
+//!     ScoredSample { score: 50.0, is_target: false },
+//! ];
+//! assert_eq!(roc_curve(&samples).auc(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod confusion;
+pub mod histogram;
+pub mod roc;
+
+pub use confusion::ConfusionMatrix;
+pub use histogram::{summary, Histogram, Summary};
+pub use roc::{roc_curve, RocCurve, RocPoint, ScoredSample};

@@ -1,0 +1,211 @@
+//! ROC-style threshold sweeps over scored, labelled reads.
+//!
+//! SquiggleFilter accepts reads whose alignment cost is **below** a
+//! threshold, so in this module *lower scores indicate the positive class*.
+
+use crate::confusion::ConfusionMatrix;
+
+/// A scored observation: the classifier's score and the ground-truth label.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ScoredSample {
+    /// Classifier score (e.g. sDTW alignment cost). Lower = more likely
+    /// target.
+    pub score: f64,
+    /// Ground truth: is this a target read?
+    pub is_target: bool,
+}
+
+/// One point of the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RocPoint {
+    /// The threshold: samples with `score <= threshold` are predicted
+    /// positive.
+    pub threshold: f64,
+    /// Confusion matrix at this threshold.
+    pub matrix: ConfusionMatrix,
+}
+
+impl RocPoint {
+    /// True-positive rate at this point.
+    pub fn tpr(&self) -> f64 {
+        self.matrix.true_positive_rate()
+    }
+
+    /// False-positive rate at this point.
+    pub fn fpr(&self) -> f64 {
+        self.matrix.false_positive_rate()
+    }
+}
+
+/// A full ROC curve.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RocCurve {
+    /// Points in increasing threshold order (i.e. increasing FPR).
+    pub points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Area under the ROC curve, computed with the trapezoid rule.
+    /// 1.0 = perfect separation, 0.5 = chance.
+    pub fn auc(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let mut area = 0.0;
+        for pair in self.points.windows(2) {
+            let dx = pair[1].fpr() - pair[0].fpr();
+            area += dx * (pair[0].tpr() + pair[1].tpr()) / 2.0;
+        }
+        area
+    }
+
+    /// The point with the maximum F1 score.
+    pub fn best_f1(&self) -> Option<&RocPoint> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.matrix.f1().partial_cmp(&b.matrix.f1()).expect("finite f1"))
+    }
+
+    /// The maximum F1 score over the curve (0 for an empty curve).
+    pub fn max_f1(&self) -> f64 {
+        self.best_f1().map(|p| p.matrix.f1()).unwrap_or(0.0)
+    }
+
+    /// The point with the lowest FPR among those reaching at least `min_tpr`.
+    pub fn point_for_tpr(&self, min_tpr: f64) -> Option<&RocPoint> {
+        self.points.iter().find(|p| p.tpr() >= min_tpr)
+    }
+}
+
+/// Builds the ROC curve for a set of scored samples by sweeping the threshold
+/// over every distinct score (plus the two extremes).
+///
+/// # Examples
+///
+/// ```
+/// use sf_metrics::{roc_curve, ScoredSample};
+///
+/// let samples = vec![
+///     ScoredSample { score: 1.0, is_target: true },
+///     ScoredSample { score: 2.0, is_target: true },
+///     ScoredSample { score: 10.0, is_target: false },
+/// ];
+/// let curve = roc_curve(&samples);
+/// assert_eq!(curve.auc(), 1.0);
+/// assert_eq!(curve.max_f1(), 1.0);
+/// ```
+pub fn roc_curve(samples: &[ScoredSample]) -> RocCurve {
+    if samples.is_empty() {
+        return RocCurve::default();
+    }
+    let mut thresholds: Vec<f64> = samples.iter().map(|s| s.score).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    thresholds.dedup();
+    let lowest = thresholds.first().copied().unwrap_or(0.0) - 1.0;
+    let mut all = Vec::with_capacity(thresholds.len() + 1);
+    all.push(lowest);
+    all.extend(thresholds);
+
+    let points = all
+        .into_iter()
+        .map(|threshold| {
+            let matrix = ConfusionMatrix::from_pairs(
+                samples.iter().map(|s| (s.is_target, s.score <= threshold)),
+            );
+            RocPoint { threshold, matrix }
+        })
+        .collect();
+    RocCurve { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> Vec<ScoredSample> {
+        let mut samples = Vec::new();
+        for i in 0..50 {
+            samples.push(ScoredSample { score: i as f64, is_target: true });
+            samples.push(ScoredSample { score: 100.0 + i as f64, is_target: false });
+        }
+        samples
+    }
+
+    fn overlapping() -> Vec<ScoredSample> {
+        let mut samples = Vec::new();
+        for i in 0..50 {
+            samples.push(ScoredSample { score: i as f64, is_target: true });
+            samples.push(ScoredSample { score: 25.0 + i as f64, is_target: false });
+        }
+        samples
+    }
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let curve = roc_curve(&separable());
+        assert!((curve.auc() - 1.0).abs() < 1e-12);
+        assert_eq!(curve.max_f1(), 1.0);
+    }
+
+    #[test]
+    fn overlap_reduces_auc_and_f1() {
+        let curve = roc_curve(&overlapping());
+        assert!(curve.auc() < 1.0);
+        assert!(curve.auc() > 0.5);
+        assert!(curve.max_f1() < 1.0);
+        assert!(curve.max_f1() > 0.6);
+    }
+
+    #[test]
+    fn curve_endpoints_cover_zero_and_one() {
+        let curve = roc_curve(&overlapping());
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert_eq!(first.tpr(), 0.0);
+        assert_eq!(first.fpr(), 0.0);
+        assert_eq!(last.tpr(), 1.0);
+        assert_eq!(last.fpr(), 1.0);
+    }
+
+    #[test]
+    fn tpr_and_fpr_are_monotone() {
+        let curve = roc_curve(&overlapping());
+        for pair in curve.points.windows(2) {
+            assert!(pair[1].tpr() >= pair[0].tpr());
+            assert!(pair[1].fpr() >= pair[0].fpr());
+        }
+    }
+
+    #[test]
+    fn point_for_tpr() {
+        let curve = roc_curve(&overlapping());
+        let point = curve.point_for_tpr(0.9).unwrap();
+        assert!(point.tpr() >= 0.9);
+        // And it is the cheapest such point: the previous point is below 0.9.
+        let idx = curve.points.iter().position(|p| p.threshold == point.threshold).unwrap();
+        if idx > 0 {
+            assert!(curve.points[idx - 1].tpr() < 0.9);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_curve() {
+        let curve = roc_curve(&[]);
+        assert!(curve.points.is_empty());
+        assert_eq!(curve.auc(), 0.0);
+        assert_eq!(curve.max_f1(), 0.0);
+        assert!(curve.best_f1().is_none());
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_below_half() {
+        // If targets score *higher* than background the curve is below chance.
+        let samples: Vec<ScoredSample> = (0..20)
+            .map(|i| ScoredSample { score: i as f64, is_target: i >= 10 })
+            .collect();
+        assert!(roc_curve(&samples).auc() < 0.5);
+    }
+}

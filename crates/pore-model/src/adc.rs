@@ -1,0 +1,138 @@
+//! MinION analog-to-digital conversion model.
+//!
+//! The MinION's ASIC digitizes each channel's ionic current with a 10–11 bit
+//! ADC. Raw FAST5 files store these integer DAC counts together with the
+//! calibration needed to recover picoamperes:
+//!
+//! ```text
+//! current_pA = (raw + offset) * range / digitisation
+//! ```
+//!
+//! The accelerator's normalizer consumes the raw 10-bit samples directly
+//! (paper §5.3), so both the simulator and the hardware model need this
+//! conversion.
+
+/// Calibration constants mapping raw ADC counts to picoamperes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct AdcModel {
+    /// Additive offset applied to raw counts before scaling.
+    pub offset: f32,
+    /// Full-scale current range in picoamperes.
+    pub range: f32,
+    /// Number of distinct ADC codes (e.g. 8192 for a 13-bit ADC, 2048 for
+    /// 11 bits). The paper's normalizer streams 10-bit samples.
+    pub digitisation: f32,
+    /// Number of bits in a raw sample; raw values are clamped to
+    /// `[0, 2^bits - 1]`.
+    pub bits: u32,
+}
+
+impl Default for AdcModel {
+    /// Calibration typical of a MinION R9.4.1 flow cell channel.
+    fn default() -> Self {
+        AdcModel {
+            offset: 10.0,
+            range: 1400.0,
+            digitisation: 8192.0,
+            bits: 13,
+        }
+    }
+}
+
+impl AdcModel {
+    /// A 10-bit ADC model matching the sample width consumed by the
+    /// accelerator's normalizer (paper Figure 15).
+    pub fn ten_bit() -> Self {
+        AdcModel {
+            offset: 0.0,
+            range: 200.0,
+            digitisation: 1024.0,
+            bits: 10,
+        }
+    }
+
+    /// Maximum representable raw code.
+    pub fn max_code(&self) -> u16 {
+        ((1u32 << self.bits) - 1) as u16
+    }
+
+    /// Converts a raw ADC code to picoamperes.
+    pub fn to_picoamps(&self, raw: u16) -> f32 {
+        (raw as f32 + self.offset) * self.range / self.digitisation
+    }
+
+    /// Converts a current in picoamperes to the nearest raw ADC code,
+    /// clamping to the representable range.
+    pub fn to_raw(&self, picoamps: f32) -> u16 {
+        let code = picoamps * self.digitisation / self.range - self.offset;
+        code.round().clamp(0.0, self.max_code() as f32) as u16
+    }
+
+    /// Converts a whole picoampere signal to raw codes.
+    pub fn digitize(&self, picoamps: &[f32]) -> Vec<u16> {
+        picoamps.iter().map(|&p| self.to_raw(p)).collect()
+    }
+
+    /// Converts a whole raw signal to picoamperes.
+    pub fn to_picoamps_all(&self, raw: &[u16]) -> Vec<f32> {
+        raw.iter().map(|&r| self.to_picoamps(r)).collect()
+    }
+
+    /// Quantization step size in picoamperes (current resolution).
+    pub fn resolution_pa(&self) -> f32 {
+        self.range / self.digitisation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_13_bit() {
+        let adc = AdcModel::default();
+        assert_eq!(adc.max_code(), 8191);
+        assert!(adc.resolution_pa() < 0.2);
+    }
+
+    #[test]
+    fn ten_bit_covers_pore_currents() {
+        let adc = AdcModel::ten_bit();
+        assert_eq!(adc.max_code(), 1023);
+        // Typical pore currents (60-130 pA) must be representable.
+        for pa in [60.0f32, 90.0, 130.0] {
+            let raw = adc.to_raw(pa);
+            assert!(raw > 0 && raw < adc.max_code());
+            assert!((adc.to_picoamps(raw) - pa).abs() < adc.resolution_pa());
+        }
+    }
+
+    #[test]
+    fn round_trip_within_resolution() {
+        let adc = AdcModel::default();
+        for pa in [5.0f32, 45.0, 89.9, 130.2, 200.0] {
+            let raw = adc.to_raw(pa);
+            let back = adc.to_picoamps(raw);
+            assert!((back - pa).abs() <= adc.resolution_pa(), "{pa} -> {raw} -> {back}");
+        }
+    }
+
+    #[test]
+    fn clamping_at_extremes() {
+        let adc = AdcModel::ten_bit();
+        assert_eq!(adc.to_raw(-50.0), 0);
+        assert_eq!(adc.to_raw(1e9), adc.max_code());
+    }
+
+    #[test]
+    fn bulk_conversion_matches_scalar() {
+        let adc = AdcModel::default();
+        let signal = vec![70.0f32, 80.0, 90.0, 100.0];
+        let raw = adc.digitize(&signal);
+        let back = adc.to_picoamps_all(&raw);
+        for (a, b) in signal.iter().zip(&back) {
+            assert!((a - b).abs() <= adc.resolution_pa());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Pipeline compute-breakdown and scalability analyses
+//! (Figures 5, 6 and 21).
+
+use sf_basecall::{BasecallMode, BasecallerKind, GpuBasecallerModel, Platform};
+use sf_hw::{AcceleratorModel, MINION_MAX_BASES_PER_S};
+
+/// Compute-time share of each pipeline stage for a metagenomic assembly run
+/// (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ComputeBreakdown {
+    /// Viral fraction of the specimen the breakdown was computed for.
+    pub viral_fraction: f64,
+    /// Fraction of compute time spent basecalling.
+    pub basecalling: f64,
+    /// Fraction spent aligning reads (minimap2 stage).
+    pub alignment: f64,
+    /// Fraction spent in consensus/variant calling (Racon + Medaka stage).
+    pub variant_calling: f64,
+}
+
+/// Computes the Figure 5 breakdown for a specimen with the given viral
+/// fraction.
+///
+/// The cost model: every read is basecalled and aligned against the ~30 kb
+/// viral reference (cheap); only target reads (plus a small false-positive
+/// tail) reach the variant caller. Per-base costs are taken from the paper's
+/// operation counts: basecalling dominates at ≈17× the per-base cost of
+/// classification alignment, and variant calling touches only the viral
+/// fraction of bases (at higher per-base cost because of polishing
+/// iterations).
+pub fn compute_breakdown(viral_fraction: f64) -> ComputeBreakdown {
+    // Relative per-base costs, normalized to alignment = 1.
+    let basecall_cost = 25.0;
+    let align_cost = 1.0;
+    let variant_cost = 8.0;
+    let basecalling = basecall_cost;
+    let alignment = align_cost;
+    let variant_calling = variant_cost * viral_fraction;
+    let total = basecalling + alignment + variant_calling;
+    ComputeBreakdown {
+        viral_fraction,
+        basecalling: basecalling / total,
+        alignment: alignment / total,
+        variant_calling: variant_calling / total,
+    }
+}
+
+/// One point of the sequencing-throughput growth curve (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ThroughputPoint {
+    /// Year of availability.
+    pub year: u32,
+    /// Device name.
+    pub device: &'static str,
+    /// Output relative to a 2021 MinION.
+    pub relative_throughput: f64,
+}
+
+/// The device-throughput series behind Figure 6 (historical releases plus
+/// ONT's announced roadmap).
+pub fn throughput_growth() -> Vec<ThroughputPoint> {
+    vec![
+        ThroughputPoint { year: 2014, device: "MinION (early)", relative_throughput: 0.05 },
+        ThroughputPoint { year: 2016, device: "MinION R9", relative_throughput: 0.3 },
+        ThroughputPoint { year: 2018, device: "MinION R9.4.1", relative_throughput: 0.7 },
+        ThroughputPoint { year: 2021, device: "MinION Mk1B", relative_throughput: 1.0 },
+        ThroughputPoint { year: 2021, device: "GridION", relative_throughput: 5.0 },
+        ThroughputPoint { year: 2023, device: "MinION prototype (announced)", relative_throughput: 16.0 },
+        ThroughputPoint { year: 2025, device: "High-density flow cell (announced)", relative_throughput: 100.0 },
+    ]
+}
+
+/// Which classifier backs the Read Until deployment in the scalability study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ScalabilityClassifier {
+    /// Guppy-lite on the Jetson Xavier edge GPU.
+    GuppyLiteJetson,
+    /// Guppy-lite on the Titan XP server GPU.
+    GuppyLiteTitan,
+    /// The 5-tile SquiggleFilter accelerator.
+    SquiggleFilter,
+}
+
+/// One point of the Figure 21 scalability curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ScalabilityPoint {
+    /// Sequencer throughput relative to today's MinION.
+    pub sequencer_multiple: f64,
+    /// Fraction of pores on which Read Until can actually be performed
+    /// (classifier throughput / sequencer output, capped at 1).
+    pub read_until_coverage: f64,
+}
+
+/// Computes the fraction of sequencer output each classifier can keep up with
+/// as sequencer throughput grows by `multiples` of today's MinION.
+pub fn scalability_curve(
+    classifier: ScalabilityClassifier,
+    multiples: &[f64],
+    reference_samples: usize,
+) -> Vec<ScalabilityPoint> {
+    let classifier_bases_per_s = match classifier {
+        ScalabilityClassifier::GuppyLiteJetson => {
+            GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::JetsonXavier)
+                .throughput_bases_per_s(BasecallMode::ReadUntil)
+        }
+        ScalabilityClassifier::GuppyLiteTitan => {
+            GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp)
+                .throughput_bases_per_s(BasecallMode::ReadUntil)
+        }
+        ScalabilityClassifier::SquiggleFilter => {
+            let perf = AcceleratorModel::default().evaluate(reference_samples, 2_000, 5);
+            // Convert sample throughput to base throughput (≈8.9 samples/base).
+            perf.total_throughput_samples_per_s
+                / (sf_hw::MINION_MAX_SAMPLES_PER_S / MINION_MAX_BASES_PER_S)
+        }
+    };
+    multiples
+        .iter()
+        .map(|&multiple| {
+            let sequencer_bases = MINION_MAX_BASES_PER_S * multiple;
+            ScalabilityPoint {
+                sequencer_multiple: multiple,
+                read_until_coverage: (classifier_bases_per_s / sequencer_bases).min(1.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basecalling_dominates_the_breakdown() {
+        for fraction in [0.01, 0.001] {
+            let breakdown = compute_breakdown(fraction);
+            assert!(breakdown.basecalling > 0.9, "basecalling share {}", breakdown.basecalling);
+            let total = breakdown.basecalling + breakdown.alignment + breakdown.variant_calling;
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lower_viral_fraction_shrinks_variant_calling_share() {
+        let one = compute_breakdown(0.01);
+        let tenth = compute_breakdown(0.001);
+        assert!(tenth.variant_calling < one.variant_calling);
+        assert!(tenth.basecalling >= one.basecalling);
+    }
+
+    #[test]
+    fn throughput_growth_is_monotone_per_year() {
+        let series = throughput_growth();
+        assert!(series.len() >= 6);
+        for pair in series.windows(2) {
+            assert!(pair[1].year >= pair[0].year);
+        }
+        assert!(series.last().unwrap().relative_throughput >= 100.0);
+    }
+
+    #[test]
+    fn squigglefilter_scales_to_100x_sequencers() {
+        let multiples: Vec<f64> = vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
+        let sf = scalability_curve(ScalabilityClassifier::SquiggleFilter, &multiples, 96_994);
+        let jetson = scalability_curve(ScalabilityClassifier::GuppyLiteJetson, &multiples, 96_994);
+        // SquiggleFilter covers 100% of pores up to ~100×.
+        assert!(sf.iter().take(6).all(|p| p.read_until_coverage > 0.99));
+        // The edge GPU already fails at 1×.
+        assert!(jetson[0].read_until_coverage < 0.5);
+        // And degrades as sequencers speed up.
+        assert!(jetson.last().unwrap().read_until_coverage < 0.01);
+    }
+
+    #[test]
+    fn titan_barely_covers_todays_minion() {
+        let points = scalability_curve(ScalabilityClassifier::GuppyLiteTitan, &[1.0, 2.0], 96_994);
+        assert!(points[0].read_until_coverage > 0.99);
+        assert!(points[1].read_until_coverage < 0.7);
+    }
+}

@@ -1,0 +1,30 @@
+//! Read Until runtime modelling and pipeline-level analyses.
+//!
+//! * [`runtime`] — the analytical sequencing-runtime model of §6: time to a
+//!   coverage target as a function of the classifier's operating point
+//!   (Figures 17b/c, Table 1, Figure 20's "time saved is cost saved").
+//! * [`analysis`] — the compute-breakdown model behind Figure 5, the
+//!   sequencing-throughput growth series of Figure 6 and the scalability
+//!   study of Figure 21.
+//!
+//! # Example
+//!
+//! ```
+//! use sf_readuntil::runtime::{ClassifierPoint, RuntimeModel};
+//!
+//! let model = RuntimeModel::default();
+//! let speedup = model.speedup(ClassifierPoint::oracle(2_000));
+//! assert!(speedup > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod runtime;
+
+pub use analysis::{
+    compute_breakdown, scalability_curve, throughput_growth, ComputeBreakdown, ScalabilityClassifier,
+    ScalabilityPoint, ThroughputPoint,
+};
+pub use runtime::{ClassifierPoint, RuntimeEstimate, RuntimeModel, SequencingParams};

@@ -1,0 +1,272 @@
+//! Labelled metagenomic datasets.
+//!
+//! The paper evaluates classification accuracy on datasets of 1000 viral and
+//! 1000 human reads (lambda phage and SARS-CoV-2 against human background).
+//! This module builds the simulated equivalents: a target genome, a
+//! background contig, simulated reads from both, and their raw squiggles,
+//! each carrying its ground-truth label.
+
+use crate::read::{ReadOrigin, ReadSimulator, ReadSimulatorConfig, SimulatedRead};
+use crate::squiggle_sim::{SquiggleSimulator, SquiggleSimulatorConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sf_genome::random::{covid_like_genome, human_like_background, lambda_like_genome};
+use sf_genome::Sequence;
+use sf_pore_model::KmerModel;
+use sf_squiggle::RawSquiggle;
+
+/// A read together with its synthesized raw squiggle and ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct LabelledSquiggle {
+    /// The simulated read (carries the ground-truth origin).
+    pub read: SimulatedRead,
+    /// The raw signal the sequencer would have reported for the read.
+    pub squiggle: RawSquiggle,
+}
+
+impl LabelledSquiggle {
+    /// Ground truth: is this a target (viral) read?
+    pub fn is_target(&self) -> bool {
+        self.read.is_target()
+    }
+}
+
+/// A labelled dataset: target and background squiggles plus the genomes that
+/// produced them.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"lambda-vs-human"`).
+    pub name: String,
+    /// The target (viral) reference genome.
+    pub target_genome: Sequence,
+    /// The background (host) contig reads were drawn from.
+    pub background_genome: Sequence,
+    /// All reads with their squiggles, shuffled.
+    pub reads: Vec<LabelledSquiggle>,
+}
+
+impl Dataset {
+    /// Number of target reads in the dataset.
+    pub fn target_count(&self) -> usize {
+        self.reads.iter().filter(|r| r.is_target()).count()
+    }
+
+    /// Number of background reads in the dataset.
+    pub fn background_count(&self) -> usize {
+        self.reads.len() - self.target_count()
+    }
+
+    /// Fraction of reads that are targets.
+    pub fn target_fraction(&self) -> f64 {
+        if self.reads.is_empty() {
+            return 0.0;
+        }
+        self.target_count() as f64 / self.reads.len() as f64
+    }
+
+    /// Iterator over `(squiggle, is_target)` pairs, the shape most
+    /// classifiers consume.
+    pub fn labelled_squiggles(&self) -> impl Iterator<Item = (&RawSquiggle, bool)> + '_ {
+        self.reads.iter().map(|r| (&r.squiggle, r.is_target()))
+    }
+}
+
+/// Builder for labelled datasets.
+///
+/// # Examples
+///
+/// ```
+/// use sf_sim::dataset::DatasetBuilder;
+///
+/// let dataset = DatasetBuilder::lambda(42).target_reads(20).background_reads(20).build();
+/// assert_eq!(dataset.reads.len(), 40);
+/// assert_eq!(dataset.target_count(), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    name: String,
+    seed: u64,
+    target_genome: Sequence,
+    background_length: usize,
+    target_reads: usize,
+    background_reads: usize,
+    read_config: ReadSimulatorConfig,
+    squiggle_config: SquiggleSimulatorConfig,
+    model_seed: u64,
+}
+
+impl DatasetBuilder {
+    /// Starts a builder for an arbitrary target genome.
+    pub fn new(name: impl Into<String>, target_genome: Sequence, seed: u64) -> Self {
+        DatasetBuilder {
+            name: name.into(),
+            seed,
+            target_genome,
+            background_length: 500_000,
+            target_reads: 1_000,
+            background_reads: 1_000,
+            read_config: ReadSimulatorConfig::viral(),
+            squiggle_config: SquiggleSimulatorConfig::default(),
+            model_seed: 0,
+        }
+    }
+
+    /// The lambda-phage-vs-human dataset used for most accuracy experiments
+    /// (Figures 11, 17a, 18, 19).
+    pub fn lambda(seed: u64) -> Self {
+        DatasetBuilder::new("lambda-vs-human", lambda_like_genome(seed), seed)
+    }
+
+    /// The SARS-CoV-2-vs-human dataset (Figure 17c).
+    pub fn covid(seed: u64) -> Self {
+        DatasetBuilder::new("covid-vs-human", covid_like_genome(seed), seed)
+    }
+
+    /// Number of target (viral) reads to simulate.
+    pub fn target_reads(mut self, n: usize) -> Self {
+        self.target_reads = n;
+        self
+    }
+
+    /// Number of background (host) reads to simulate.
+    pub fn background_reads(mut self, n: usize) -> Self {
+        self.background_reads = n;
+        self
+    }
+
+    /// Length of the simulated background contig.
+    pub fn background_length(mut self, length: usize) -> Self {
+        self.background_length = length;
+        self
+    }
+
+    /// Overrides the read-length configuration.
+    pub fn read_config(mut self, config: ReadSimulatorConfig) -> Self {
+        self.read_config = config;
+        self
+    }
+
+    /// Overrides the signal-synthesis configuration.
+    pub fn squiggle_config(mut self, config: SquiggleSimulatorConfig) -> Self {
+        self.squiggle_config = config;
+        self
+    }
+
+    /// Seed of the synthetic pore model (kept separate so the same model can
+    /// be shared between the dataset and the filter under test).
+    pub fn model_seed(mut self, seed: u64) -> Self {
+        self.model_seed = seed;
+        self
+    }
+
+    /// Builds the dataset.
+    pub fn build(self) -> Dataset {
+        let model = KmerModel::synthetic_r94(self.model_seed);
+        let background = human_like_background(self.seed.wrapping_add(101), self.background_length);
+        let mut squiggle_sim = SquiggleSimulator::new(model, self.squiggle_config, self.seed.wrapping_add(7));
+
+        let mut reads = Vec::with_capacity(self.target_reads + self.background_reads);
+        let mut target_sim = ReadSimulator::new(
+            &self.target_genome,
+            ReadOrigin::Target,
+            self.read_config,
+            self.seed.wrapping_add(1),
+        );
+        for read in target_sim.simulate(self.target_reads) {
+            let squiggle = squiggle_sim.synthesize_read(&read);
+            reads.push(LabelledSquiggle { read, squiggle });
+        }
+        let mut background_sim = ReadSimulator::new(
+            &background,
+            ReadOrigin::Background,
+            self.read_config,
+            self.seed.wrapping_add(2),
+        );
+        for read in background_sim.simulate(self.background_reads) {
+            let squiggle = squiggle_sim.synthesize_read(&read);
+            reads.push(LabelledSquiggle { read, squiggle });
+        }
+        // Shuffle so iteration order doesn't leak the label.
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(3));
+        for i in (1..reads.len()).rev() {
+            let j = rng.random_range(0..=i);
+            reads.swap(i, j);
+        }
+        Dataset {
+            name: self.name,
+            target_genome: self.target_genome,
+            background_genome: background,
+            reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_lambda() -> Dataset {
+        DatasetBuilder::lambda(1)
+            .target_reads(30)
+            .background_reads(40)
+            .background_length(150_000)
+            .build()
+    }
+
+    #[test]
+    fn counts_match_request() {
+        let dataset = small_lambda();
+        assert_eq!(dataset.reads.len(), 70);
+        assert_eq!(dataset.target_count(), 30);
+        assert_eq!(dataset.background_count(), 40);
+        assert!((dataset.target_fraction() - 30.0 / 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squiggles_are_nonempty_and_labelled() {
+        let dataset = small_lambda();
+        for item in &dataset.reads {
+            assert!(!item.squiggle.is_empty());
+            assert_eq!(item.is_target(), item.read.is_target());
+        }
+        let labelled: Vec<bool> = dataset.labelled_squiggles().map(|(_, t)| t).collect();
+        assert_eq!(labelled.len(), 70);
+    }
+
+    #[test]
+    fn reads_are_shuffled() {
+        let dataset = small_lambda();
+        // The first 30 entries should not all be targets if shuffling works.
+        let first_targets = dataset.reads.iter().take(30).filter(|r| r.is_target()).count();
+        assert!(first_targets < 30);
+    }
+
+    #[test]
+    fn covid_dataset_uses_covid_genome_length() {
+        let dataset = DatasetBuilder::covid(2)
+            .target_reads(5)
+            .background_reads(5)
+            .background_length(100_000)
+            .build();
+        assert_eq!(dataset.target_genome.len(), sf_genome::catalog::SARS_COV_2_LENGTH);
+        assert_eq!(dataset.name, "covid-vs-human");
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = DatasetBuilder::lambda(9).target_reads(5).background_reads(5).background_length(100_000).build();
+        let b = DatasetBuilder::lambda(9).target_reads(5).background_reads(5).background_length(100_000).build();
+        assert_eq!(a.reads, b.reads);
+    }
+
+    #[test]
+    fn empty_dataset_fraction_is_zero() {
+        let dataset = DatasetBuilder::lambda(3)
+            .target_reads(0)
+            .background_reads(0)
+            .background_length(100_000)
+            .build();
+        assert_eq!(dataset.target_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Small sampling helpers shared by the simulator modules.
+//!
+//! Only `rand` (not `rand_distr`) is on the approved dependency list, so the
+//! handful of distributions needed by the signal and flow-cell simulators are
+//! implemented here directly.
+
+use rand::RngExt;
+
+/// Samples a standard-normal value using the Box–Muller transform.
+pub fn standard_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by keeping u1 strictly positive.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal value with the given mean and standard deviation.
+pub fn normal<R: RngExt + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Samples an exponential value with the given mean (`1/lambda`).
+pub fn exponential<R: RngExt + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Samples a (shifted) geometric dwell time: at least `min`, with the
+/// additional count distributed geometrically so that the overall mean is
+/// `mean`. Used for per-base dwell times (samples per base).
+pub fn geometric_dwell<R: RngExt + ?Sized>(rng: &mut R, mean: f64, min: usize) -> usize {
+    let extra_mean = (mean - min as f64).max(0.0);
+    if extra_mean <= f64::EPSILON {
+        return min;
+    }
+    // Geometric distribution over {0, 1, 2, ...} with mean extra_mean has
+    // success probability p = 1 / (1 + extra_mean).
+    let p = 1.0 / (1.0 + extra_mean);
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let extra = (u.ln() / (1.0 - p).ln()).floor() as usize;
+    min + extra
+}
+
+/// Samples a log-normal value parameterized by the *target* mean and a shape
+/// parameter sigma (sigma of the underlying normal). Used for read lengths.
+pub fn lognormal_with_mean<R: RngExt + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    // If X ~ LogNormal(mu, sigma) then E[X] = exp(mu + sigma^2/2).
+    let mu = mean.max(1.0).ln() - sigma * sigma / 2.0;
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matches_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| exponential(&mut rng, 5.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn geometric_dwell_respects_min_and_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<usize> = (0..20_000).map(|_| geometric_dwell(&mut rng, 10.0, 4)).collect();
+        assert!(samples.iter().all(|&x| x >= 4));
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+        // Degenerate case: mean below min collapses to min.
+        assert_eq!(geometric_dwell(&mut rng, 2.0, 5), 5);
+    }
+
+    #[test]
+    fn lognormal_mean_is_approximately_requested() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| lognormal_with_mean(&mut rng, 8_000.0, 0.5))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 8_000.0).abs() < 300.0, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+}

@@ -1,0 +1,274 @@
+//! Read sampling from genomes.
+//!
+//! A sequencing "read" is a random fragment of the source genome. For the
+//! viral target the fragments are drawn from the (short) viral genome; for
+//! the human/bacterial background they are drawn from a large background
+//! contig. Read lengths follow a log-normal distribution, matching the long-
+//! tailed length profiles of rapid-kit nanopore libraries.
+
+use crate::rand_util::lognormal_with_mean;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sf_genome::Sequence;
+
+/// Where a simulated read came from. This is the ground-truth label used for
+/// accuracy evaluation (the paper's lambda/human and SARS-CoV-2/human sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ReadOrigin {
+    /// The read is a fragment of the target virus genome.
+    Target,
+    /// The read is background (host or other non-target) material.
+    Background,
+}
+
+/// Strand of the source genome a read was drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Strand {
+    /// The reference-forward strand.
+    Forward,
+    /// The reverse-complement strand.
+    Reverse,
+}
+
+/// A simulated read: the DNA fragment plus its ground truth provenance.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SimulatedRead {
+    /// Sequential identifier, unique within one simulator run.
+    pub id: u64,
+    /// Ground-truth origin (target virus or background).
+    pub origin: ReadOrigin,
+    /// Strand the fragment was taken from.
+    pub strand: Strand,
+    /// Start position of the fragment on the source genome (forward-strand
+    /// coordinates).
+    pub start: usize,
+    /// The fragment itself (already reverse-complemented for reverse-strand
+    /// reads).
+    pub sequence: Sequence,
+}
+
+impl SimulatedRead {
+    /// Length of the read in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Returns `true` for an empty read (never produced by the simulator).
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Returns `true` when the read originates from the target genome.
+    pub fn is_target(&self) -> bool {
+        self.origin == ReadOrigin::Target
+    }
+}
+
+/// Configuration of the read sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct ReadSimulatorConfig {
+    /// Mean read length in bases.
+    pub mean_length: f64,
+    /// Log-normal shape parameter for read lengths.
+    pub length_sigma: f64,
+    /// Minimum read length (shorter draws are clamped).
+    pub min_length: usize,
+    /// Maximum read length (longer draws are clamped). Also implicitly
+    /// limited by the source genome length.
+    pub max_length: usize,
+}
+
+impl Default for ReadSimulatorConfig {
+    fn default() -> Self {
+        ReadSimulatorConfig {
+            mean_length: 8_000.0,
+            length_sigma: 0.6,
+            min_length: 500,
+            max_length: 120_000,
+        }
+    }
+}
+
+impl ReadSimulatorConfig {
+    /// Configuration typical of a viral amplicon/SISPA library: shorter reads
+    /// than the genomic background.
+    pub fn viral() -> Self {
+        ReadSimulatorConfig {
+            mean_length: 4_000.0,
+            length_sigma: 0.5,
+            min_length: 300,
+            max_length: 30_000,
+        }
+    }
+}
+
+/// Samples reads from a single source genome.
+///
+/// # Examples
+///
+/// ```
+/// use sf_sim::read::{ReadSimulator, ReadSimulatorConfig, ReadOrigin};
+/// use sf_genome::random::lambda_like_genome;
+///
+/// let genome = lambda_like_genome(1);
+/// let mut sim = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 7);
+/// let reads = sim.simulate(10);
+/// assert_eq!(reads.len(), 10);
+/// assert!(reads.iter().all(|r| r.is_target() && r.len() >= 300));
+/// ```
+#[derive(Debug)]
+pub struct ReadSimulator<'a> {
+    genome: &'a Sequence,
+    origin: ReadOrigin,
+    config: ReadSimulatorConfig,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl<'a> ReadSimulator<'a> {
+    /// Creates a simulator drawing fragments from `genome`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome is shorter than the configured minimum read
+    /// length.
+    pub fn new(genome: &'a Sequence, origin: ReadOrigin, config: ReadSimulatorConfig, seed: u64) -> Self {
+        assert!(
+            genome.len() >= config.min_length,
+            "genome ({} bases) shorter than the minimum read length ({})",
+            genome.len(),
+            config.min_length
+        );
+        ReadSimulator {
+            genome,
+            origin,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+        }
+    }
+
+    /// The sampling configuration.
+    pub fn config(&self) -> &ReadSimulatorConfig {
+        &self.config
+    }
+
+    /// Draws the next read.
+    pub fn next_read(&mut self) -> SimulatedRead {
+        let length = self.sample_length();
+        let max_start = self.genome.len() - length;
+        let start = if max_start == 0 {
+            0
+        } else {
+            self.rng.random_range(0..=max_start)
+        };
+        let fragment = self.genome.subsequence(start, start + length);
+        let (strand, sequence) = if self.rng.random_bool(0.5) {
+            (Strand::Forward, fragment)
+        } else {
+            (Strand::Reverse, fragment.reverse_complement())
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        SimulatedRead {
+            id,
+            origin: self.origin,
+            strand,
+            start,
+            sequence,
+        }
+    }
+
+    /// Draws `count` reads.
+    pub fn simulate(&mut self, count: usize) -> Vec<SimulatedRead> {
+        (0..count).map(|_| self.next_read()).collect()
+    }
+
+    fn sample_length(&mut self) -> usize {
+        let draw = lognormal_with_mean(&mut self.rng, self.config.mean_length, self.config.length_sigma);
+        let len = draw.round() as usize;
+        len.clamp(self.config.min_length, self.config.max_length.min(self.genome.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::{human_like_background, lambda_like_genome};
+
+    #[test]
+    fn reads_are_within_genome_bounds() {
+        let genome = lambda_like_genome(3);
+        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 1);
+        for read in sim.simulate(200) {
+            assert!(read.start + read.len() <= genome.len());
+            assert!(read.len() >= 300);
+        }
+    }
+
+    #[test]
+    fn forward_reads_match_genome_subsequence() {
+        let genome = lambda_like_genome(3);
+        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 2);
+        let reads = sim.simulate(100);
+        for read in reads.iter().filter(|r| r.strand == Strand::Forward) {
+            assert_eq!(read.sequence, genome.subsequence(read.start, read.start + read.len()));
+        }
+        for read in reads.iter().filter(|r| r.strand == Strand::Reverse) {
+            assert_eq!(
+                read.sequence.reverse_complement(),
+                genome.subsequence(read.start, read.start + read.len())
+            );
+        }
+    }
+
+    #[test]
+    fn both_strands_are_produced() {
+        let genome = lambda_like_genome(3);
+        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 5);
+        let reads = sim.simulate(100);
+        let forward = reads.iter().filter(|r| r.strand == Strand::Forward).count();
+        assert!(forward > 20 && forward < 80, "forward strand count {forward}");
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let genome = lambda_like_genome(4);
+        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Background, ReadSimulatorConfig::viral(), 6);
+        let reads = sim.simulate(50);
+        for (i, read) in reads.iter().enumerate() {
+            assert_eq!(read.id, i as u64);
+            assert!(!read.is_target());
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let genome = lambda_like_genome(5);
+        let a = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 9).simulate(20);
+        let b = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 9).simulate(20);
+        assert_eq!(a, b);
+        let c = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 10).simulate(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn background_reads_use_default_lengths() {
+        let genome = human_like_background(1, 200_000);
+        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Background, ReadSimulatorConfig::default(), 3);
+        let reads = sim.simulate(300);
+        let mean: f64 = reads.iter().map(|r| r.len() as f64).sum::<f64>() / reads.len() as f64;
+        assert!(mean > 4_000.0 && mean < 14_000.0, "mean read length {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than")]
+    fn genome_shorter_than_min_length_panics() {
+        let genome: Sequence = "ACGT".parse().unwrap();
+        let _ = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::default(), 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Event segmentation.
+//!
+//! Older nanopore pipelines (including the original 2016 Read Until work and
+//! the UNCALLED baseline discussed in the paper's related work) first segment
+//! the raw signal into *events* — runs of samples believed to come from the
+//! same pore state / k-mer — before any further analysis. SquiggleFilter
+//! itself skips this step, but the baselines in `sf-basecall` and `sf-align`
+//! need it.
+//!
+//! Segmentation uses the classic two-window Student's t-statistic detector:
+//! a boundary is declared where the means of the windows immediately before
+//! and after a sample differ significantly.
+
+/// One detected event: a run of consecutive samples with a stable level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Event {
+    /// Index of the first sample of the event.
+    pub start: usize,
+    /// Number of samples in the event.
+    pub length: usize,
+    /// Mean signal level of the event.
+    pub mean: f32,
+    /// Standard deviation of the samples in the event.
+    pub std_dev: f32,
+}
+
+impl Event {
+    /// Index one past the last sample of the event.
+    pub fn end(&self) -> usize {
+        self.start + self.length
+    }
+}
+
+/// Configuration of the t-statistic event detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct EventDetectorConfig {
+    /// Length of the two comparison windows (samples).
+    pub window: usize,
+    /// t-statistic threshold above which a boundary is declared.
+    pub threshold: f32,
+    /// Minimum number of samples between two boundaries.
+    pub min_event_length: usize,
+}
+
+impl Default for EventDetectorConfig {
+    fn default() -> Self {
+        EventDetectorConfig {
+            window: 4,
+            threshold: 3.5,
+            min_event_length: 3,
+        }
+    }
+}
+
+/// Sliding two-window t-statistic event detector.
+///
+/// # Examples
+///
+/// ```
+/// use sf_squiggle::events::{EventDetector, EventDetectorConfig};
+///
+/// // Two clear levels: 80 pA then 120 pA.
+/// let mut signal = vec![80.0f32; 50];
+/// signal.extend(vec![120.0f32; 50]);
+/// let events = EventDetector::new(EventDetectorConfig::default()).detect(&signal);
+/// assert_eq!(events.len(), 2);
+/// assert!((events[0].mean - 80.0).abs() < 1.0);
+/// assert!((events[1].mean - 120.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventDetector {
+    config: EventDetectorConfig,
+}
+
+impl EventDetector {
+    /// Creates a detector with the given configuration.
+    pub fn new(config: EventDetectorConfig) -> Self {
+        EventDetector { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EventDetectorConfig {
+        &self.config
+    }
+
+    /// Segments `signal` into events. Returns an empty vector for signals
+    /// shorter than twice the comparison window.
+    pub fn detect(&self, signal: &[f32]) -> Vec<Event> {
+        let w = self.config.window.max(1);
+        if signal.len() < 2 * w {
+            if signal.is_empty() {
+                return Vec::new();
+            }
+            return vec![make_event(signal, 0, signal.len())];
+        }
+        // Compute the t-statistic at each candidate boundary.
+        let mut boundaries = vec![0usize];
+        let mut last_boundary = 0usize;
+        for i in w..(signal.len() - w) {
+            if i - last_boundary < self.config.min_event_length {
+                continue;
+            }
+            let before = &signal[i - w..i];
+            let after = &signal[i..i + w];
+            let t = t_statistic(before, after);
+            if t > self.config.threshold {
+                boundaries.push(i);
+                last_boundary = i;
+            }
+        }
+        boundaries.push(signal.len());
+        boundaries
+            .windows(2)
+            .filter(|pair| pair[1] > pair[0])
+            .map(|pair| make_event(signal, pair[0], pair[1]))
+            .collect()
+    }
+
+    /// Convenience: event means only, which is what the event-space aligner
+    /// consumes.
+    pub fn event_means(&self, signal: &[f32]) -> Vec<f32> {
+        self.detect(signal).iter().map(|e| e.mean).collect()
+    }
+}
+
+fn make_event(signal: &[f32], start: usize, end: usize) -> Event {
+    let slice = &signal[start..end];
+    let n = slice.len() as f32;
+    let mean = slice.iter().sum::<f32>() / n;
+    let var = slice.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n;
+    Event {
+        start,
+        length: end - start,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Welch's t-statistic between two equally sized windows.
+fn t_statistic(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len() as f32;
+    let mean = |s: &[f32]| s.iter().sum::<f32>() / s.len() as f32;
+    let var = |s: &[f32], m: f32| s.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / s.len() as f32;
+    let ma = mean(a);
+    let mb = mean(b);
+    let va = var(a, ma);
+    let vb = var(b, mb);
+    let denom = ((va + vb) / n).sqrt().max(1e-6);
+    (ma - mb).abs() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_signal(levels: &[f32], dwell: usize) -> Vec<f32> {
+        let mut signal = Vec::new();
+        for &level in levels {
+            for j in 0..dwell {
+                // Tiny deterministic ripple so variance is non-zero.
+                signal.push(level + if j % 2 == 0 { 0.2 } else { -0.2 });
+            }
+        }
+        signal
+    }
+
+    #[test]
+    fn detects_each_level_change() {
+        let signal = step_signal(&[80.0, 110.0, 70.0, 130.0, 95.0], 12);
+        let events = EventDetector::default().detect(&signal);
+        assert_eq!(events.len(), 5, "events: {events:?}");
+        let means: Vec<f32> = events.iter().map(|e| e.mean).collect();
+        for (found, expected) in means.iter().zip([80.0, 110.0, 70.0, 130.0, 95.0]) {
+            assert!((found - expected).abs() < 1.5, "{found} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn events_cover_signal_exactly() {
+        let signal = step_signal(&[80.0, 100.0, 90.0], 15);
+        let events = EventDetector::default().detect(&signal);
+        assert_eq!(events[0].start, 0);
+        assert_eq!(events.last().unwrap().end(), signal.len());
+        for pair in events.windows(2) {
+            assert_eq!(pair[0].end(), pair[1].start);
+        }
+        let total: usize = events.iter().map(|e| e.length).sum();
+        assert_eq!(total, signal.len());
+    }
+
+    #[test]
+    fn constant_signal_is_one_event() {
+        let signal = vec![90.0f32; 200];
+        let events = EventDetector::default().detect(&signal);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].length, 200);
+        assert_eq!(events[0].std_dev, 0.0);
+    }
+
+    #[test]
+    fn short_and_empty_signals() {
+        let detector = EventDetector::default();
+        assert!(detector.detect(&[]).is_empty());
+        let events = detector.detect(&[50.0, 51.0]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].length, 2);
+    }
+
+    #[test]
+    fn min_event_length_suppresses_chatter() {
+        // Rapidly alternating levels shorter than min_event_length should not
+        // produce one event per sample.
+        let signal: Vec<f32> = (0..200)
+            .map(|i| if (i / 2) % 2 == 0 { 80.0 } else { 120.0 })
+            .collect();
+        let config = EventDetectorConfig {
+            min_event_length: 8,
+            ..Default::default()
+        };
+        let events = EventDetector::new(config).detect(&signal);
+        assert!(events.len() < 40, "got {} events", events.len());
+    }
+
+    #[test]
+    fn event_means_matches_detect() {
+        let signal = step_signal(&[70.0, 90.0], 20);
+        let detector = EventDetector::default();
+        let means = detector.event_means(&signal);
+        let events = detector.detect(&signal);
+        assert_eq!(means.len(), events.len());
+        for (m, e) in means.iter().zip(&events) {
+            assert_eq!(*m, e.mean);
+        }
+    }
+
+    #[test]
+    fn events_per_base_is_near_one_for_realistic_dwell() {
+        // 10 samples per base, 50 bases -> expect roughly 50 events.
+        let levels: Vec<f32> = (0..50).map(|i| 80.0 + ((i * 37) % 50) as f32).collect();
+        let signal = step_signal(&levels, 10);
+        let events = EventDetector::default().detect(&signal);
+        assert!(
+            (events.len() as i64 - 50).unsigned_abs() < 12,
+            "expected ~50 events, got {}",
+            events.len()
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Query normalization (paper §4.2 and §5.3).
+//!
+//! Raw nanopore currents vary from pore to pore because of slight differences
+//! in applied bias voltage, so every read must be rescaled before it can be
+//! compared against the reference squiggle. The accelerator's normalizer:
+//!
+//! 1. accumulates the first `n = 2000` samples and computes their mean and
+//!    Mean Absolute Deviation (MAD),
+//! 2. transforms each sample with mean–MAD normalization,
+//! 3. clips outliers, and
+//! 4. rescales to a signed 8-bit fixed-point value in `[-4, 4]`.
+//!
+//! This module is the bit-exact software counterpart of that pipeline; the
+//! hardware model in `sf-hw` reuses it to verify its own datapath.
+
+use crate::signal::stats;
+
+/// The fixed-point range used by the 8-bit quantizer: normalized values are
+/// clipped to `[-FIXED_POINT_RANGE, FIXED_POINT_RANGE]`.
+pub const FIXED_POINT_RANGE: f32 = 4.0;
+
+/// Statistic used as the denominator of the normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum ScaleEstimator {
+    /// Mean absolute deviation — cheap to compute in hardware (no square
+    /// root); the estimator used by the accelerator.
+    #[default]
+    MeanAbsoluteDeviation,
+    /// Standard deviation — the conventional z-score denominator, used by the
+    /// floating-point software baseline.
+    StandardDeviation,
+}
+
+/// Configuration of the normalization pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct NormalizerConfig {
+    /// Denominator statistic.
+    pub scale: ScaleEstimator,
+    /// Number of leading samples used to estimate mean and scale. The
+    /// hardware updates its estimate every 2000 samples.
+    pub calibration_window: usize,
+    /// Values whose absolute normalized magnitude exceeds this are clamped
+    /// (outlier filtering).
+    pub outlier_clip: f32,
+}
+
+impl Default for NormalizerConfig {
+    fn default() -> Self {
+        NormalizerConfig {
+            scale: ScaleEstimator::MeanAbsoluteDeviation,
+            calibration_window: 2000,
+            outlier_clip: FIXED_POINT_RANGE,
+        }
+    }
+}
+
+/// Normalization parameters estimated from a calibration window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct NormalizationParams {
+    /// Estimated signal mean.
+    pub shift: f32,
+    /// Estimated signal scale (MAD or standard deviation).
+    pub scale: f32,
+}
+
+/// The query normalizer.
+///
+/// # Examples
+///
+/// ```
+/// use sf_squiggle::normalize::{Normalizer, NormalizerConfig};
+///
+/// let raw: Vec<u16> = (0..2000).map(|i| 480 + (i % 40) as u16).collect();
+/// let normalizer = Normalizer::new(NormalizerConfig::default());
+/// let normalized = normalizer.normalize_raw(&raw);
+/// assert_eq!(normalized.len(), raw.len());
+/// // Normalized output is centred on zero.
+/// let mean: f32 = normalized.iter().sum::<f32>() / normalized.len() as f32;
+/// assert!(mean.abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Normalizer {
+    config: NormalizerConfig,
+}
+
+impl Normalizer {
+    /// Creates a normalizer with the given configuration.
+    pub fn new(config: NormalizerConfig) -> Self {
+        Normalizer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NormalizerConfig {
+        &self.config
+    }
+
+    /// Estimates normalization parameters from the first
+    /// `calibration_window` samples of `signal`.
+    pub fn estimate<T: Into<f64> + Copy>(&self, signal: &[T]) -> NormalizationParams {
+        let window = &signal[..signal.len().min(self.config.calibration_window)];
+        let s = stats(window);
+        let scale = match self.config.scale {
+            ScaleEstimator::MeanAbsoluteDeviation => s.mad,
+            ScaleEstimator::StandardDeviation => s.std_dev,
+        };
+        NormalizationParams {
+            shift: s.mean as f32,
+            scale: (scale as f32).max(f32::EPSILON),
+        }
+    }
+
+    /// Normalizes a floating-point signal with parameters estimated from its
+    /// own calibration window, clipping outliers.
+    pub fn normalize(&self, signal: &[f32]) -> Vec<f32> {
+        let params = self.estimate(signal);
+        self.normalize_with(signal.iter().map(|&x| x as f64), params)
+    }
+
+    /// Normalizes a raw integer signal (ADC counts).
+    pub fn normalize_raw(&self, signal: &[u16]) -> Vec<f32> {
+        let params = self.estimate(signal);
+        self.normalize_with(signal.iter().map(|&x| x as f64), params)
+    }
+
+    /// Normalizes any sample stream with explicit, pre-estimated parameters.
+    pub fn normalize_with<I>(&self, samples: I, params: NormalizationParams) -> Vec<f32>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let clip = self.config.outlier_clip;
+        samples
+            .into_iter()
+            .map(|x| {
+                let z = (x as f32 - params.shift) / params.scale;
+                z.clamp(-clip, clip)
+            })
+            .collect()
+    }
+
+    /// Normalizes and quantizes to the accelerator's signed 8-bit domain.
+    pub fn normalize_raw_quantized(&self, signal: &[u16]) -> Vec<i8> {
+        self.normalize_raw(signal).iter().copied().map(quantize).collect()
+    }
+
+    /// Normalizes a floating-point signal and quantizes it.
+    pub fn normalize_quantized(&self, signal: &[f32]) -> Vec<i8> {
+        self.normalize(signal).iter().copied().map(quantize).collect()
+    }
+}
+
+/// Quantizes a normalized value into the signed 8-bit fixed-point domain
+/// (`[-4, 4]` mapped onto `[-127, 127]`).
+pub fn quantize(value: f32) -> i8 {
+    let clamped = value.clamp(-FIXED_POINT_RANGE, FIXED_POINT_RANGE);
+    (clamped / FIXED_POINT_RANGE * 127.0).round() as i8
+}
+
+/// Inverse of [`quantize`], recovering an approximate normalized value.
+pub fn dequantize(value: i8) -> f32 {
+    value as f32 / 127.0 * FIXED_POINT_RANGE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_signal(len: usize, mean: f32, amplitude: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| mean + amplitude * ((i % 20) as f32 / 20.0 - 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn normalization_is_shift_and_scale_invariant() {
+        let normalizer = Normalizer::default();
+        let a = synthetic_signal(4000, 90.0, 20.0);
+        // Same shape, different pore bias (shifted and scaled).
+        let b: Vec<f32> = a.iter().map(|x| x * 1.7 + 35.0).collect();
+        let na = normalizer.normalize(&a);
+        let nb = normalizer.normalize(&b);
+        for (x, y) in na.iter().zip(&nb) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn mean_mad_normalization_centres_signal() {
+        let normalizer = Normalizer::default();
+        let signal = synthetic_signal(2000, 450.0, 80.0);
+        let normalized = normalizer.normalize(&signal);
+        let mean: f32 = normalized.iter().sum::<f32>() / normalized.len() as f32;
+        assert!(mean.abs() < 0.05);
+    }
+
+    #[test]
+    fn std_dev_estimator_differs_from_mad() {
+        let signal = synthetic_signal(2000, 90.0, 30.0);
+        let mad = Normalizer::new(NormalizerConfig {
+            scale: ScaleEstimator::MeanAbsoluteDeviation,
+            ..Default::default()
+        })
+        .estimate(&signal);
+        let sd = Normalizer::new(NormalizerConfig {
+            scale: ScaleEstimator::StandardDeviation,
+            ..Default::default()
+        })
+        .estimate(&signal);
+        assert!(sd.scale > mad.scale, "std dev should exceed MAD for this signal");
+        assert_eq!(sd.shift, mad.shift);
+    }
+
+    #[test]
+    fn outliers_are_clipped() {
+        let mut signal = synthetic_signal(2000, 90.0, 10.0);
+        signal[100] = 100_000.0;
+        signal[200] = -100_000.0;
+        let normalized = Normalizer::default().normalize(&signal);
+        assert!(normalized.iter().all(|x| x.abs() <= FIXED_POINT_RANGE));
+        assert_eq!(normalized[100], FIXED_POINT_RANGE);
+        assert_eq!(normalized[200], -FIXED_POINT_RANGE);
+    }
+
+    #[test]
+    fn calibration_window_limits_estimation() {
+        let config = NormalizerConfig {
+            calibration_window: 100,
+            ..Default::default()
+        };
+        let normalizer = Normalizer::new(config);
+        // First 100 samples around 90, later samples around 900: the estimate
+        // must only reflect the calibration window.
+        let mut signal = vec![90.0f32; 100];
+        signal.extend(vec![900.0f32; 100]);
+        let params = normalizer.estimate(&signal);
+        assert!((params.shift - 90.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantize_round_trips_within_tolerance() {
+        for v in [-4.0f32, -2.1, -0.5, 0.0, 0.3, 1.9, 4.0] {
+            let q = quantize(v);
+            assert!((dequantize(q) - v).abs() <= FIXED_POINT_RANGE / 127.0 + 1e-6);
+        }
+        assert_eq!(quantize(99.0), 127);
+        assert_eq!(quantize(-99.0), -127);
+    }
+
+    #[test]
+    fn quantized_normalization_matches_float_within_step() {
+        let normalizer = Normalizer::default();
+        let raw: Vec<u16> = (0..2000).map(|i| 400 + ((i * 7) % 200) as u16).collect();
+        let float = normalizer.normalize_raw(&raw);
+        let quantized = normalizer.normalize_raw_quantized(&raw);
+        assert_eq!(float.len(), quantized.len());
+        for (f, q) in float.iter().zip(&quantized) {
+            assert!((dequantize(*q) - f).abs() < 0.04);
+        }
+    }
+
+    #[test]
+    fn constant_signal_does_not_divide_by_zero() {
+        let normalized = Normalizer::default().normalize(&[42.0f32; 500]);
+        assert!(normalized.iter().all(|x| x.is_finite()));
+        assert!(normalized.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn empty_signal_is_empty() {
+        assert!(Normalizer::default().normalize(&[]).is_empty());
+        assert!(Normalizer::default().normalize_raw(&[]).is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! Raw and processed nanopore signal containers.
+//!
+//! A nanopore "squiggle" is the time series of ionic-current measurements
+//! produced while a single DNA strand translocates a pore. The MinION samples
+//! each channel at 4 kHz and DNA moves at roughly 450 bases/s, so each base
+//! contributes about 10 samples.
+
+use std::fmt;
+
+/// Default MinION sampling rate in samples per second per channel.
+pub const DEFAULT_SAMPLE_RATE_HZ: f64 = 4_000.0;
+
+/// Typical DNA translocation speed through an R9.4.1 pore (bases per second).
+pub const DEFAULT_BASES_PER_SECOND: f64 = 450.0;
+
+/// Average number of signal samples measured per base
+/// (`DEFAULT_SAMPLE_RATE_HZ / DEFAULT_BASES_PER_SECOND ≈ 8.9`, commonly
+/// rounded to 10 in the paper).
+pub const SAMPLES_PER_BASE: f64 = DEFAULT_SAMPLE_RATE_HZ / DEFAULT_BASES_PER_SECOND;
+
+/// A raw squiggle: integer ADC codes straight off the sequencer.
+///
+/// # Examples
+///
+/// ```
+/// use sf_squiggle::RawSquiggle;
+///
+/// let raw = RawSquiggle::new(vec![500, 520, 480], 4000.0);
+/// assert_eq!(raw.len(), 3);
+/// assert_eq!(raw.duration_seconds(), 3.0 / 4000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RawSquiggle {
+    samples: Vec<u16>,
+    sample_rate_hz: f64,
+}
+
+impl RawSquiggle {
+    /// Creates a raw squiggle from ADC samples.
+    pub fn new(samples: Vec<u16>, sample_rate_hz: f64) -> Self {
+        RawSquiggle { samples, sample_rate_hz }
+    }
+
+    /// The ADC samples.
+    pub fn samples(&self) -> &[u16] {
+        &self.samples
+    }
+
+    /// Consumes the squiggle and returns the sample vector.
+    pub fn into_samples(self) -> Vec<u16> {
+        self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the squiggle holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sampling rate in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Wall-clock duration represented by the samples.
+    pub fn duration_seconds(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate_hz
+    }
+
+    /// Returns the first `n` samples as a new squiggle (the "read prefix" the
+    /// filter classifies); the whole squiggle if it is shorter than `n`.
+    pub fn prefix(&self, n: usize) -> RawSquiggle {
+        RawSquiggle {
+            samples: self.samples[..n.min(self.samples.len())].to_vec(),
+            sample_rate_hz: self.sample_rate_hz,
+        }
+    }
+
+    /// Splits the squiggle into non-overlapping chunks of `chunk_size`
+    /// samples (the final partial chunk is included). Guppy processes reads
+    /// in chunks of 2000 samples; Read Until pipelines classify per-chunk.
+    pub fn chunks(&self, chunk_size: usize) -> Vec<&[u16]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.samples.chunks(chunk_size).collect()
+    }
+
+    /// Number of bases this squiggle is expected to span given the default
+    /// translocation speed.
+    pub fn approx_bases(&self) -> usize {
+        (self.samples.len() as f64 / SAMPLES_PER_BASE).round() as usize
+    }
+}
+
+/// A squiggle converted to physical units (picoamperes).
+#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PicoampSquiggle {
+    samples: Vec<f32>,
+}
+
+impl PicoampSquiggle {
+    /// Creates a picoampere squiggle.
+    pub fn new(samples: Vec<f32>) -> Self {
+        PicoampSquiggle { samples }
+    }
+
+    /// The samples in picoamperes.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Consumes the squiggle and returns the sample vector.
+    pub fn into_samples(self) -> Vec<f32> {
+        self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+impl fmt::Display for PicoampSquiggle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PicoampSquiggle({} samples)", self.samples.len())
+    }
+}
+
+/// Summary statistics of a signal window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct SignalStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Mean absolute deviation from the mean.
+    pub mad: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+}
+
+/// Computes summary statistics over a slice of samples.
+///
+/// Returns the default (all zeros) for an empty slice.
+pub fn stats<T: Into<f64> + Copy>(samples: &[T]) -> SignalStats {
+    if samples.is_empty() {
+        return SignalStats::default();
+    }
+    let n = samples.len() as f64;
+    let mut sum = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &s in samples {
+        let v: f64 = s.into();
+        sum += v;
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let mean = sum / n;
+    let mut var = 0.0f64;
+    let mut mad = 0.0f64;
+    for &s in samples {
+        let v: f64 = s.into();
+        var += (v - mean) * (v - mean);
+        mad += (v - mean).abs();
+    }
+    SignalStats {
+        mean,
+        std_dev: (var / n).sqrt(),
+        mad: mad / n,
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_squiggle_basics() {
+        let raw = RawSquiggle::new(vec![100, 200, 300, 400], 4000.0);
+        assert_eq!(raw.len(), 4);
+        assert!(!raw.is_empty());
+        assert_eq!(raw.sample_rate_hz(), 4000.0);
+        assert!((raw.duration_seconds() - 0.001).abs() < 1e-12);
+        assert_eq!(raw.samples(), &[100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn prefix_clamps_to_length() {
+        let raw = RawSquiggle::new(vec![1, 2, 3], 4000.0);
+        assert_eq!(raw.prefix(2).samples(), &[1, 2]);
+        assert_eq!(raw.prefix(10).samples(), &[1, 2, 3]);
+        assert_eq!(raw.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn chunking() {
+        let raw = RawSquiggle::new((0..5000).map(|i| (i % 1024) as u16).collect(), 4000.0);
+        let chunks = raw.chunks(2000);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 2000);
+        assert_eq!(chunks[2].len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_panics() {
+        let raw = RawSquiggle::new(vec![1, 2], 4000.0);
+        let _ = raw.chunks(0);
+    }
+
+    #[test]
+    fn approx_bases_uses_translocation_speed() {
+        let raw = RawSquiggle::new(vec![0; 2000], DEFAULT_SAMPLE_RATE_HZ);
+        // 2000 samples / (4000/450) samples-per-base = 225 bases.
+        assert_eq!(raw.approx_bases(), 225);
+    }
+
+    #[test]
+    fn stats_of_constant_signal() {
+        let s = stats(&[5.0f32; 100]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mad, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = stats(&[1.0f64, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.mad - 1.0).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn stats_empty_is_default() {
+        let s = stats::<f32>(&[]);
+        assert_eq!(s, SignalStats::default());
+    }
+
+    #[test]
+    fn stats_accepts_u16() {
+        let s = stats(&[10u16, 20, 30]);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Reference-guided assembly driver.
+//!
+//! Glues the mapper, banded aligner and pileup together: given the reads that
+//! survived Read Until, map each one, align it base-by-base within its mapped
+//! window, accumulate the pileup, and report the consensus genome, the called
+//! variants and the coverage achieved (the paper targets 30×).
+
+use crate::pileup::{Pileup, Variant};
+use sf_align::{banded_align, Mapper, MapperConfig, MappingStrand};
+use sf_genome::Sequence;
+
+/// Configuration of the assembly driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct AssemblyConfig {
+    /// Mapper configuration.
+    pub mapper: MapperConfig,
+    /// Band width for the per-read banded alignment.
+    pub band: usize,
+    /// Minimum depth for variant calls.
+    pub min_variant_depth: u32,
+    /// Minimum allele fraction for variant calls.
+    pub min_allele_fraction: f64,
+    /// Target coverage; assembly can stop once the mean coverage reaches it.
+    pub target_coverage: f64,
+}
+
+impl Default for AssemblyConfig {
+    fn default() -> Self {
+        AssemblyConfig {
+            mapper: MapperConfig::default(),
+            band: 64,
+            min_variant_depth: 10,
+            min_allele_fraction: 0.6,
+            target_coverage: 30.0,
+        }
+    }
+}
+
+/// Result of a reference-guided assembly.
+#[derive(Debug, Clone)]
+pub struct AssemblyResult {
+    /// Consensus genome.
+    pub consensus: Sequence,
+    /// Variants relative to the reference.
+    pub variants: Vec<Variant>,
+    /// Mean coverage across the reference.
+    pub mean_coverage: f64,
+    /// Fraction of positions with depth ≥ 1.
+    pub breadth: f64,
+    /// Number of reads that mapped and were used.
+    pub used_reads: usize,
+    /// Number of reads that failed to map (discarded, e.g. Read Until false
+    /// positives).
+    pub unmapped_reads: usize,
+}
+
+/// Reference-guided assembler.
+#[derive(Debug)]
+pub struct Assembler {
+    config: AssemblyConfig,
+    mapper: Mapper,
+    pileup: Pileup,
+    used_reads: usize,
+    unmapped_reads: usize,
+}
+
+impl Assembler {
+    /// Creates an assembler for a target reference genome.
+    pub fn new(reference: Sequence, config: AssemblyConfig) -> Self {
+        Assembler {
+            mapper: Mapper::new(&reference, config.mapper),
+            pileup: Pileup::new(reference),
+            config,
+            used_reads: 0,
+            unmapped_reads: 0,
+        }
+    }
+
+    /// The assembly configuration.
+    pub fn config(&self) -> &AssemblyConfig {
+        &self.config
+    }
+
+    /// Current mean coverage.
+    pub fn mean_coverage(&self) -> f64 {
+        self.pileup.mean_coverage()
+    }
+
+    /// Whether the coverage target has been reached.
+    pub fn coverage_reached(&self) -> bool {
+        self.mean_coverage() >= self.config.target_coverage
+    }
+
+    /// Adds one basecalled read: maps it, aligns it within the mapped window
+    /// and accumulates the pileup. Returns `true` if the read mapped.
+    pub fn add_read(&mut self, read: &Sequence) -> bool {
+        if read.is_empty() {
+            self.unmapped_reads += 1;
+            return false;
+        }
+        let Some(mapping) = self.mapper.map(read) else {
+            self.unmapped_reads += 1;
+            return false;
+        };
+        let reference = self.pileup.reference();
+        let window_start = mapping.reference_start.min(reference.len().saturating_sub(1));
+        let window_end = mapping.reference_end.clamp(window_start + 1, reference.len());
+        let window = reference.subsequence(window_start, window_end);
+        let oriented = match mapping.strand {
+            MappingStrand::Forward => read.clone(),
+            MappingStrand::Reverse => read.reverse_complement(),
+        };
+        let (_, aligned) = banded_align(&oriented, &window, self.config.band);
+        self.pileup.add_aligned_read(window_start, &aligned);
+        self.used_reads += 1;
+        true
+    }
+
+    /// Finalizes the assembly.
+    pub fn finish(self) -> AssemblyResult {
+        AssemblyResult {
+            consensus: self.pileup.consensus(),
+            variants: self
+                .pileup
+                .call_variants(self.config.min_variant_depth, self.config.min_allele_fraction),
+            mean_coverage: self.pileup.mean_coverage(),
+            breadth: self.pileup.breadth_of_coverage(1),
+            used_reads: self.used_reads,
+            unmapped_reads: self.unmapped_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::mutate::{apply, Mutation};
+    use sf_genome::random::random_genome;
+    use sf_genome::Base;
+
+    /// Simulated error-free reads tiling a genome.
+    fn tiling_reads(genome: &Sequence, read_length: usize, step: usize) -> Vec<Sequence> {
+        let mut reads = Vec::new();
+        let mut start = 0usize;
+        while start + read_length <= genome.len() {
+            let read = genome.subsequence(start, start + read_length);
+            // Alternate strands to exercise both orientations.
+            reads.push(if (start / step) % 2 == 0 { read } else { read.reverse_complement() });
+            start += step;
+        }
+        reads
+    }
+
+    #[test]
+    fn assembles_the_sequenced_strain_and_calls_its_variants() {
+        let reference = random_genome(11, 8_000);
+        // The sequenced "strain" carries three SNPs relative to the reference.
+        let mutations = vec![
+            Mutation::Substitution { position: 1_000, to: reference[1_000].rotate(1) },
+            Mutation::Substitution { position: 4_000, to: reference[4_000].rotate(2) },
+            Mutation::Substitution { position: 6_500, to: reference[6_500].rotate(3) },
+        ];
+        let strain = apply(&reference, &mutations);
+
+        let mut assembler = Assembler::new(reference.clone(), AssemblyConfig {
+            min_variant_depth: 3,
+            ..Default::default()
+        });
+        for read in tiling_reads(&strain, 2_000, 500) {
+            assert!(assembler.add_read(&read), "tiling read failed to map");
+        }
+        let result = assembler.finish();
+        assert!(result.mean_coverage > 3.0, "coverage {}", result.mean_coverage);
+        assert!(result.breadth > 0.99, "breadth {}", result.breadth);
+        assert_eq!(result.unmapped_reads, 0);
+
+        let positions: Vec<usize> = result.variants.iter().map(|v| v.position).collect();
+        assert_eq!(positions, vec![1_000, 4_000, 6_500]);
+        for (variant, mutation) in result.variants.iter().zip(&mutations) {
+            if let Mutation::Substitution { to, .. } = mutation {
+                assert_eq!(variant.alternate, *to);
+            }
+        }
+        // The consensus should equal the strain, not the reference.
+        assert_eq!(result.consensus.mismatches(&strain), 0);
+    }
+
+    #[test]
+    fn background_reads_are_discarded_without_affecting_consensus() {
+        let reference = random_genome(12, 6_000);
+        let mut assembler = Assembler::new(reference.clone(), AssemblyConfig {
+            min_variant_depth: 2,
+            ..Default::default()
+        });
+        let mut unmapped = 0;
+        for read in tiling_reads(&reference, 1_500, 400) {
+            assembler.add_read(&read);
+        }
+        for i in 0..10 {
+            let background = random_genome(100 + i, 1_500);
+            if !assembler.add_read(&background) {
+                unmapped += 1;
+            }
+        }
+        assert!(unmapped >= 9, "only {unmapped} background reads were rejected");
+        let result = assembler.finish();
+        assert!(result.variants.is_empty());
+        assert_eq!(result.consensus.mismatches(&reference), 0);
+        assert_eq!(result.unmapped_reads, unmapped);
+    }
+
+    #[test]
+    fn coverage_target_tracking() {
+        let reference = random_genome(13, 4_000);
+        let config = AssemblyConfig { target_coverage: 2.0, ..Default::default() };
+        let mut assembler = Assembler::new(reference.clone(), config);
+        assert!(!assembler.coverage_reached());
+        for read in tiling_reads(&reference, 2_000, 250) {
+            assembler.add_read(&read);
+        }
+        assert!(assembler.coverage_reached());
+        assert!(assembler.mean_coverage() >= 2.0);
+    }
+
+    #[test]
+    fn empty_reads_are_counted_as_unmapped() {
+        let reference = random_genome(14, 3_000);
+        let mut assembler = Assembler::new(reference, AssemblyConfig::default());
+        assert!(!assembler.add_read(&Sequence::new()));
+        assert!(!assembler.add_read(&Sequence::from_bases(vec![Base::A; 30])));
+        let result = assembler.finish();
+        assert_eq!(result.used_reads, 0);
+        assert_eq!(result.unmapped_reads, 2);
+    }
+}

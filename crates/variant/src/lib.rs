@@ -1,0 +1,28 @@
+//! Pileup consensus, SNP calling and reference-guided assembly
+//! (the Racon/Medaka stand-in; off the Read Until critical path).
+//!
+//! * [`pileup`] — per-position base counts, consensus and variant calling,
+//! * [`assembly`] — the driver that maps reads, aligns them base-by-base and
+//!   accumulates the pileup until the coverage target (30×) is reached.
+//!
+//! # Example
+//!
+//! ```
+//! use sf_variant::{Assembler, AssemblyConfig};
+//! use sf_genome::random::random_genome;
+//!
+//! let reference = random_genome(1, 5_000);
+//! let mut assembler = Assembler::new(reference.clone(), AssemblyConfig::default());
+//! assembler.add_read(&reference.subsequence(0, 2_000));
+//! let result = assembler.finish();
+//! assert_eq!(result.used_reads, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assembly;
+pub mod pileup;
+
+pub use assembly::{Assembler, AssemblyConfig, AssemblyResult};
+pub use pileup::{Pileup, PileupColumn, Variant};

@@ -1,0 +1,268 @@
+//! Pileup, consensus and SNP calling (the Racon/Medaka stand-in).
+//!
+//! Reads that survive the filter are basecalled, aligned to the viral
+//! reference and piled up; the consensus over each reference position gives
+//! the assembled genome and the positions where the consensus differs from
+//! the reference are the reported variants. This stage is off the Read Until
+//! critical path (paper §3.1) but is required for the end-to-end
+//! whole-genome-assembly story.
+
+use sf_genome::{Base, Sequence};
+
+/// Per-reference-position base counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PileupColumn {
+    /// Counts of A, C, G, T observed at this position.
+    pub counts: [u32; 4],
+    /// Number of reads whose alignment deleted this position.
+    pub deletions: u32,
+}
+
+impl PileupColumn {
+    /// Total read depth at this position (including deletions).
+    pub fn depth(&self) -> u32 {
+        self.counts.iter().sum::<u32>() + self.deletions
+    }
+
+    /// The most frequent base, or `None` when there is no coverage or
+    /// deletions dominate.
+    pub fn consensus(&self) -> Option<Base> {
+        let (best, &count) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)?;
+        if count == 0 || self.deletions > count {
+            return None;
+        }
+        Some(Base::from_code(best as u8))
+    }
+}
+
+/// A called single-nucleotide variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Variant {
+    /// Reference position.
+    pub position: usize,
+    /// Reference base.
+    pub reference: Base,
+    /// Consensus (alternate) base.
+    pub alternate: Base,
+    /// Read depth at the position.
+    pub depth: u32,
+    /// Fraction of reads supporting the alternate base.
+    pub allele_fraction: f64,
+}
+
+/// A reference-length pileup being accumulated from aligned reads.
+#[derive(Debug, Clone)]
+pub struct Pileup {
+    reference: Sequence,
+    columns: Vec<PileupColumn>,
+}
+
+impl Pileup {
+    /// Creates an empty pileup over a reference genome.
+    pub fn new(reference: Sequence) -> Self {
+        let columns = vec![PileupColumn::default(); reference.len()];
+        Pileup { reference, columns }
+    }
+
+    /// The reference the pileup is built against.
+    pub fn reference(&self) -> &Sequence {
+        &self.reference
+    }
+
+    /// Adds one aligned read: `aligned[k]` is the read base aligned to
+    /// reference position `start + k`, or `None` for a deletion.
+    pub fn add_aligned_read(&mut self, start: usize, aligned: &[Option<Base>]) {
+        for (k, observed) in aligned.iter().enumerate() {
+            let Some(column) = self.columns.get_mut(start + k) else {
+                break;
+            };
+            match observed {
+                Some(base) => column.counts[base.code() as usize] += 1,
+                None => column.deletions += 1,
+            }
+        }
+    }
+
+    /// The pileup column at `position`.
+    pub fn column(&self, position: usize) -> Option<&PileupColumn> {
+        self.columns.get(position)
+    }
+
+    /// Mean read depth across the reference.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.columns.is_empty() {
+            return 0.0;
+        }
+        self.columns.iter().map(|c| c.depth() as f64).sum::<f64>() / self.columns.len() as f64
+    }
+
+    /// Fraction of reference positions with depth at least `min_depth`.
+    pub fn breadth_of_coverage(&self, min_depth: u32) -> f64 {
+        if self.columns.is_empty() {
+            return 0.0;
+        }
+        let covered = self.columns.iter().filter(|c| c.depth() >= min_depth).count();
+        covered as f64 / self.columns.len() as f64
+    }
+
+    /// The consensus sequence: the majority base per position, falling back
+    /// to the reference base where there is no coverage, and skipping
+    /// positions where deletions dominate.
+    pub fn consensus(&self) -> Sequence {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, column)| {
+                if column.depth() == 0 {
+                    Some(self.reference[i])
+                } else {
+                    column.consensus().or(if column.deletions > 0 { None } else { Some(self.reference[i]) })
+                }
+            })
+            .collect()
+    }
+
+    /// Calls single-nucleotide variants: positions where the consensus
+    /// differs from the reference with at least `min_depth` coverage and at
+    /// least `min_allele_fraction` of reads supporting the alternate.
+    pub fn call_variants(&self, min_depth: u32, min_allele_fraction: f64) -> Vec<Variant> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter_map(|(position, column)| {
+                let depth = column.depth();
+                if depth < min_depth {
+                    return None;
+                }
+                let alternate = column.consensus()?;
+                let reference = self.reference[position];
+                if alternate == reference {
+                    return None;
+                }
+                let support = column.counts[alternate.code() as usize] as f64 / depth as f64;
+                if support < min_allele_fraction {
+                    return None;
+                }
+                Some(Variant {
+                    position,
+                    reference,
+                    alternate,
+                    depth,
+                    allele_fraction: support,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::random_genome;
+
+    fn aligned_exact(fragment: &Sequence) -> Vec<Option<Base>> {
+        fragment.iter().map(Some).collect()
+    }
+
+    #[test]
+    fn consensus_of_exact_reads_equals_reference() {
+        let reference = random_genome(1, 1_000);
+        let mut pileup = Pileup::new(reference.clone());
+        for start in [0usize, 200, 400, 600, 0, 300] {
+            let end = (start + 500).min(reference.len());
+            pileup.add_aligned_read(start, &aligned_exact(&reference.subsequence(start, end)));
+        }
+        assert_eq!(pileup.consensus(), reference);
+        assert!(pileup.call_variants(1, 0.5).is_empty());
+        assert!(pileup.mean_coverage() > 1.0);
+    }
+
+    #[test]
+    fn variants_are_called_where_reads_disagree_with_reference() {
+        let reference = random_genome(2, 500);
+        let mut mutated_read = reference.clone();
+        let mut aligned = aligned_exact(&mutated_read);
+        // Introduce a SNP at position 123 supported by all reads.
+        let alt = reference[123].rotate(1);
+        aligned[123] = Some(alt);
+        let mut pileup = Pileup::new(reference.clone());
+        for _ in 0..30 {
+            pileup.add_aligned_read(0, &aligned);
+        }
+        let variants = pileup.call_variants(10, 0.6);
+        assert_eq!(variants.len(), 1);
+        assert_eq!(variants[0].position, 123);
+        assert_eq!(variants[0].reference, reference[123]);
+        assert_eq!(variants[0].alternate, alt);
+        assert_eq!(variants[0].depth, 30);
+        assert!((variants[0].allele_fraction - 1.0).abs() < 1e-12);
+        let _ = &mut mutated_read;
+    }
+
+    #[test]
+    fn low_depth_positions_are_not_called() {
+        let reference = random_genome(3, 200);
+        let mut aligned = aligned_exact(&reference);
+        aligned[50] = Some(reference[50].rotate(2));
+        let mut pileup = Pileup::new(reference);
+        for _ in 0..5 {
+            pileup.add_aligned_read(0, &aligned);
+        }
+        assert!(pileup.call_variants(10, 0.6).is_empty());
+        assert_eq!(pileup.call_variants(3, 0.6).len(), 1);
+    }
+
+    #[test]
+    fn minority_alleles_are_not_called() {
+        let reference = random_genome(4, 200);
+        let clean = aligned_exact(&reference);
+        let mut noisy = clean.clone();
+        noisy[10] = Some(reference[10].rotate(1));
+        let mut pileup = Pileup::new(reference);
+        for i in 0..30 {
+            pileup.add_aligned_read(0, if i < 5 { &noisy } else { &clean });
+        }
+        assert!(pileup.call_variants(10, 0.6).is_empty());
+    }
+
+    #[test]
+    fn coverage_statistics() {
+        let reference = random_genome(5, 1_000);
+        let mut pileup = Pileup::new(reference.clone());
+        pileup.add_aligned_read(0, &aligned_exact(&reference.subsequence(0, 500)));
+        assert!((pileup.mean_coverage() - 0.5).abs() < 1e-12);
+        assert!((pileup.breadth_of_coverage(1) - 0.5).abs() < 1e-12);
+        assert_eq!(pileup.breadth_of_coverage(2), 0.0);
+        assert_eq!(pileup.column(0).unwrap().depth(), 1);
+        assert_eq!(pileup.column(999).unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn deletions_are_tracked_and_skipped_in_consensus() {
+        let reference = random_genome(6, 100);
+        let mut aligned = aligned_exact(&reference);
+        aligned[40] = None;
+        let mut pileup = Pileup::new(reference.clone());
+        for _ in 0..10 {
+            pileup.add_aligned_read(0, &aligned);
+        }
+        assert_eq!(pileup.column(40).unwrap().deletions, 10);
+        let consensus = pileup.consensus();
+        assert_eq!(consensus.len(), reference.len() - 1);
+    }
+
+    #[test]
+    fn reads_past_reference_end_are_clipped() {
+        let reference = random_genome(7, 50);
+        let mut pileup = Pileup::new(reference.clone());
+        pileup.add_aligned_read(40, &aligned_exact(&reference));
+        assert_eq!(pileup.column(49).unwrap().depth(), 1);
+        assert!(pileup.column(50).is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! Cycle-level accelerator simulation: run reads through the systolic-array
+//! tile model, verify it against the software kernel, and print the Table 4 /
+//! §7.1 design-point numbers.
+//!
+//! Run with `cargo run --release --example hardware_sim`.
+
+use squigglefilter::hw::{AcceleratorModel, AsicModel, SystolicArray, Tile, TileConfig};
+use squigglefilter::prelude::*;
+use squigglefilter::sdtw::IntSdtw;
+
+fn main() {
+    // A small synthetic reference keeps the cycle-level simulation quick;
+    // the analytical model below uses the full SARS-CoV-2 / lambda sizes.
+    let model = KmerModel::synthetic_r94(0);
+    let genome = squigglefilter::genome::random::random_genome(3, 5_000);
+    let reference = ReferenceSquiggle::from_genome(&model, &genome);
+    let quantized = reference.concatenated_quantized();
+
+    // A matching read: an exact slice of the reference squiggle.
+    let query: Vec<i8> = quantized[2_000..3_000].to_vec();
+
+    // Cycle-level systolic array vs the software integer kernel.
+    let config = SdtwConfig::hardware();
+    let array = SystolicArray::new(config, 2_000);
+    let run = array.classify(&query, &quantized);
+    let software = IntSdtw::new(config, quantized.clone()).align(&query).expect("non-empty query");
+    println!(
+        "systolic array: cost {} in {} cycles ({} PEs); software kernel cost {}",
+        run.best.cost, run.cycles, run.active_pes, software.cost
+    );
+    assert_eq!(run.best.cost, software.cost, "hardware and software must agree");
+
+    // Tile-level latency/throughput for this reference.
+    let tile = Tile::new(TileConfig::default(), quantized);
+    println!(
+        "tile: {:.4} ms / classification, {:.1} M samples/s sustained",
+        tile.classification_latency_s(2_000) * 1e3,
+        tile.throughput_samples_per_s(2_000) / 1e6
+    );
+
+    // Table 4 roll-up and the paper's two design points.
+    println!("\nTable 4 (28 nm synthesis roll-up):");
+    for (element, area, power) in AsicModel::default().table4_rows() {
+        println!("  {element:<22} {area:>8.3} mm^2 {power:>8.3} W");
+    }
+    let accel = AcceleratorModel::default();
+    for (name, perf) in [
+        ("SARS-CoV-2", accel.sars_cov_2_design_point()),
+        ("lambda phage", accel.lambda_design_point()),
+    ] {
+        println!(
+            "{name:<12}: latency {:.3} ms, {:.2} M samples/s per tile, headroom {:.0}x over MinION",
+            perf.latency_ms,
+            perf.tile_throughput_samples_per_s / 1e6,
+            perf.minion_headroom()
+        );
+    }
+}

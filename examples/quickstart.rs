@@ -1,0 +1,80 @@
+//! Quickstart: program a SquiggleFilter for a target virus and classify a
+//! handful of simulated reads.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use squigglefilter::prelude::*;
+use squigglefilter::sdtw::calibrate_threshold;
+use squigglefilter::sim::DatasetBuilder;
+
+fn main() {
+    // 1. A small labelled dataset: simulated SARS-CoV-2-like reads mixed with
+    //    human-like background reads, each carrying its raw squiggle.
+    let dataset = DatasetBuilder::covid(42)
+        .target_reads(60)
+        .background_reads(60)
+        .background_length(200_000)
+        .build();
+    println!(
+        "dataset: {} reads ({} target, {} background)",
+        dataset.reads.len(),
+        dataset.target_count(),
+        dataset.background_count()
+    );
+
+    // 2. Program the filter for the target genome (the "reference squiggle").
+    let model = KmerModel::synthetic_r94(0);
+    let uncalibrated =
+        SquiggleFilter::from_genome(&model, &dataset.target_genome, FilterConfig::hardware(f64::MAX));
+
+    // 3. Calibrate the cost threshold on a slice of the data.
+    let (calibration, evaluation): (Vec<_>, Vec<_>) =
+        dataset.reads.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+    let mut target_costs = Vec::new();
+    let mut background_costs = Vec::new();
+    for (_, item) in &calibration {
+        if let Some(result) = uncalibrated.score(&item.squiggle) {
+            if item.is_target() {
+                target_costs.push(result.cost);
+            } else {
+                background_costs.push(result.cost);
+            }
+        }
+    }
+    let best = calibrate_threshold(&target_costs, &background_costs)
+        .best_f1()
+        .expect("calibration data is non-empty");
+    println!(
+        "calibrated threshold {:.0} (TPR {:.2}, FPR {:.2})",
+        best.threshold, best.true_positive_rate, best.false_positive_rate
+    );
+
+    // 4. Classify the held-out reads and report accuracy.
+    let filter = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(best.threshold),
+    );
+    let mut matrix = ConfusionMatrix::new();
+    for (_, item) in &evaluation {
+        let decision = filter.classify(&item.squiggle);
+        matrix.record(item.is_target(), decision.verdict.is_accept());
+    }
+    println!(
+        "held-out accuracy: {:.1}%  (TPR {:.2}, FPR {:.2}, F1 {:.2})",
+        matrix.accuracy() * 100.0,
+        matrix.true_positive_rate(),
+        matrix.false_positive_rate(),
+        matrix.f1()
+    );
+
+    // 5. What would this cost on the accelerator?
+    let perf = AcceleratorModel::default().sars_cov_2_design_point();
+    println!(
+        "accelerator: {:.3} ms/decision, {:.1} M samples/s per tile, {:.2} mm^2 / {:.2} W (5 tiles)",
+        perf.latency_ms,
+        perf.tile_throughput_samples_per_s / 1e6,
+        perf.budget.area_mm2,
+        perf.budget.power_w
+    );
+}

@@ -1,0 +1,72 @@
+//! # SquiggleFilter (Rust reproduction)
+//!
+//! A full-system reproduction of *SquiggleFilter: An Accelerator for Portable
+//! Virus Detection* (Dunn, Sadasivan, et al., MICRO 2021): hardware-friendly
+//! subsequence dynamic time warping over raw nanopore signal, used to eject
+//! non-target reads from the sequencer (Read Until) without basecalling them.
+//!
+//! This crate is a facade re-exporting the workspace's sub-crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`genome`] | `sf-genome` | sequences, mutation/strain models, virus catalog |
+//! | [`pore_model`] | `sf-pore-model` | k-mer current models, reference squiggles |
+//! | [`squiggle`] | `sf-squiggle` | signal containers, normalization, events |
+//! | [`sim`] | `sf-sim` | read/squiggle/flow-cell simulation |
+//! | [`sdtw`] | `sf-sdtw` | the SquiggleFilter itself (sDTW kernels, filters, thresholds) |
+//! | [`hw`] | `sf-hw` | cycle-level accelerator model, area/power/latency |
+//! | [`basecall`] | `sf-basecall` | HMM basecaller + Guppy GPU performance models |
+//! | [`align`] | `sf-align` | minimizer mapper, FM-index, UNCALLED-style baseline |
+//! | [`variant`] | `sf-variant` | pileup consensus, SNP calling, assembly driver |
+//! | [`readuntil`] | `sf-readuntil` | sequencing-runtime model, breakdown and scalability analyses |
+//! | [`metrics`] | `sf-metrics` | confusion matrices, ROC sweeps, histograms |
+//!
+//! # Quick start
+//!
+//! ```
+//! use squigglefilter::prelude::*;
+//!
+//! // Program the filter for a (simulated) target virus.
+//! let model = KmerModel::synthetic_r94(0);
+//! let genome = squigglefilter::genome::random::covid_like_genome(1);
+//! let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(40_000.0));
+//!
+//! // Classify a read prefix.
+//! let read = RawSquiggle::new(vec![500u16; 2_000], 4_000.0);
+//! let decision = filter.classify(&read);
+//! assert_eq!(decision.result.query_samples, 2_000);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use sf_align as align;
+pub use sf_basecall as basecall;
+pub use sf_genome as genome;
+pub use sf_hw as hw;
+pub use sf_metrics as metrics;
+pub use sf_pore_model as pore_model;
+pub use sf_readuntil as readuntil;
+pub use sf_sdtw as sdtw;
+pub use sf_sim as sim;
+pub use sf_squiggle as squiggle;
+pub use sf_variant as variant;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use sf_align::{Mapper, MapperConfig};
+    pub use sf_basecall::{BasecallMode, BasecallerKind, GpuBasecallerModel, Platform};
+    pub use sf_genome::{Base, Sequence};
+    pub use sf_hw::{AcceleratorModel, Tile, TileConfig};
+    pub use sf_metrics::{roc_curve, ConfusionMatrix, ScoredSample};
+    pub use sf_pore_model::{KmerModel, ReferenceSquiggle};
+    pub use sf_readuntil::{ClassifierPoint, RuntimeModel, SequencingParams};
+    pub use sf_sdtw::{
+        FilterConfig, FilterVerdict, MultiStageConfig, MultiStageFilter, SdtwConfig, SquiggleFilter,
+    };
+    pub use sf_sim::{DatasetBuilder, FlowCellConfig, FlowCellSimulator, ReadUntilPolicy};
+    pub use sf_squiggle::{Normalizer, RawSquiggle};
+    pub use sf_variant::{Assembler, AssemblyConfig};
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the core data structures and kernels.
+
+use proptest::prelude::*;
+use squigglefilter::genome::{Base, PackedSequence, Sequence};
+use squigglefilter::sdtw::{FloatSdtw, IntSdtw, SdtwConfig};
+use squigglefilter::squiggle::normalize::{dequantize, quantize, Normalizer};
+
+fn arb_sequence(max_len: usize) -> impl Strategy<Value = Sequence> {
+    prop::collection::vec(0u8..4, 1..max_len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reverse_complement_is_an_involution(seq in arb_sequence(300)) {
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq);
+    }
+
+    #[test]
+    fn packed_sequence_round_trips(seq in arb_sequence(300)) {
+        let packed = PackedSequence::from_sequence(&seq);
+        prop_assert_eq!(packed.len(), seq.len());
+        prop_assert_eq!(packed.to_sequence(), seq);
+    }
+
+    #[test]
+    fn sequence_parse_display_round_trips(seq in arb_sequence(200)) {
+        let text = seq.to_string();
+        let parsed: Sequence = text.parse().unwrap();
+        prop_assert_eq!(parsed, seq);
+    }
+
+    #[test]
+    fn kmer_ranks_are_in_range(seq in arb_sequence(200), k in 1usize..8) {
+        for rank in seq.kmer_ranks(k) {
+            prop_assert!(rank < 1 << (2 * k));
+        }
+        let expected = if seq.len() >= k { seq.len() - k + 1 } else { 0 };
+        prop_assert_eq!(seq.kmer_ranks(k).count(), expected);
+    }
+
+    #[test]
+    fn quantize_dequantize_is_bounded(value in -10.0f32..10.0) {
+        let q = quantize(value);
+        let back = dequantize(q);
+        prop_assert!(back.abs() <= 4.0 + 1e-6);
+        // Within range, round-trip error is at most one quantization step.
+        if value.abs() <= 4.0 {
+            prop_assert!((back - value).abs() <= 4.0 / 127.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalization_output_is_clipped(samples in prop::collection::vec(0u16..1024, 10..500)) {
+        let normalized = Normalizer::default().normalize_raw(&samples);
+        prop_assert_eq!(normalized.len(), samples.len());
+        prop_assert!(normalized.iter().all(|x| x.is_finite() && x.abs() <= 4.0));
+    }
+
+    #[test]
+    fn sdtw_cost_is_nonnegative_without_bonus(
+        reference in prop::collection::vec(-100i8..100, 10..80),
+        query in prop::collection::vec(-100i8..100, 1..60),
+    ) {
+        let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let result = aligner.align(&query).unwrap();
+        prop_assert!(result.cost >= 0.0);
+        prop_assert!(result.end_position >= result.start_position);
+        prop_assert_eq!(result.query_samples, query.len());
+    }
+
+    #[test]
+    fn sdtw_exact_subsequence_costs_zero(
+        reference in prop::collection::vec(-100i8..100, 30..120),
+        start in 0usize..20,
+        len in 5usize..20,
+    ) {
+        let start = start.min(reference.len().saturating_sub(len + 1));
+        let query: Vec<i8> = reference[start..start + len].to_vec();
+        let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let result = aligner.align(&query).unwrap();
+        prop_assert_eq!(result.cost, 0.0);
+    }
+
+    #[test]
+    fn int_and_float_kernels_agree(
+        reference in prop::collection::vec(-100i8..100, 10..60),
+        query in prop::collection::vec(-100i8..100, 1..40),
+    ) {
+        let reference_f: Vec<f32> = reference.iter().map(|&x| x as f32).collect();
+        let query_f: Vec<f32> = query.iter().map(|&x| x as f32).collect();
+        for config in [SdtwConfig::hardware(), SdtwConfig::vanilla(), SdtwConfig::hardware_without_bonus()] {
+            let int = IntSdtw::new(config, reference.clone()).align(&query).unwrap();
+            let float = FloatSdtw::new(config, reference_f.clone()).align(&query_f).unwrap();
+            prop_assert_eq!(int.cost, float.cost);
+            prop_assert_eq!(int.end_position, float.end_position);
+        }
+    }
+
+    #[test]
+    fn streaming_chunking_is_equivalent_to_batch(
+        reference in prop::collection::vec(-100i8..100, 10..60),
+        query in prop::collection::vec(-100i8..100, 2..50),
+        chunk in 1usize..10,
+    ) {
+        let aligner = IntSdtw::new(SdtwConfig::hardware(), reference);
+        let batch = aligner.align(&query).unwrap();
+        let mut stream = aligner.stream();
+        for piece in query.chunks(chunk) {
+            stream.extend(piece);
+        }
+        prop_assert_eq!(stream.best().unwrap(), batch);
+    }
+
+    #[test]
+    fn adding_query_samples_never_decreases_cost_without_bonus(
+        reference in prop::collection::vec(-100i8..100, 10..60),
+        query in prop::collection::vec(-100i8..100, 2..40),
+    ) {
+        // Each extra sample adds a non-negative per-cell distance, so the
+        // optimal cost is non-decreasing in prefix length.
+        let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
+        let mut stream = aligner.stream();
+        let mut last = 0.0f64;
+        for &q in &query {
+            stream.push(q);
+            let cost = stream.best().unwrap().cost;
+            prop_assert!(cost >= last - 1e-9);
+            last = cost;
+        }
+    }
+}
