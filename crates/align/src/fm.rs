@@ -59,7 +59,7 @@ impl FmIndex {
         c_table[2] = c_table[1] + counts[1];
         c_table[3] = c_table[2] + counts[2];
         c_table[4] = 0; // sentinel row (unused for search)
-        // Occurrence samples.
+                        // Occurrence samples.
         let mut occ = [0u32; 4];
         let mut occ_samples = Vec::with_capacity(bwt.len() / OCC_SAMPLE + 2);
         for (i, &c) in bwt.iter().enumerate() {
@@ -141,8 +141,7 @@ impl FmIndex {
 }
 
 /// Configuration of the UNCALLED-style event classifier.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct UncalledConfig {
     /// How many candidate k-mers to consider per event (nearest pore-model
     /// levels).
@@ -181,8 +180,9 @@ pub struct UncalledClassifier {
 impl UncalledClassifier {
     /// Builds the classifier for a target reference.
     pub fn new(reference: &Sequence, model: KmerModel, config: UncalledConfig) -> Self {
-        let mut sorted_levels: Vec<(f32, usize)> =
-            (0..model.len()).map(|rank| (model.level(rank).mean_pa, rank)).collect();
+        let mut sorted_levels: Vec<(f32, usize)> = (0..model.len())
+            .map(|rank| (model.level(rank).mean_pa, rank))
+            .collect();
         sorted_levels.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite levels"));
         UncalledClassifier {
             index: FmIndex::build(reference),
@@ -256,7 +256,11 @@ impl UncalledClassifier {
                 .partial_cmp(&(b.0 - mean).abs())
                 .expect("finite levels")
         });
-        candidates.into_iter().take(n).map(|(_, rank)| rank).collect()
+        candidates
+            .into_iter()
+            .take(n)
+            .map(|(_, rank)| rank)
+            .collect()
     }
 }
 

@@ -5,8 +5,7 @@ use crate::minimizer::{MinimizerIndex, MinimizerParams};
 use sf_genome::Sequence;
 
 /// Orientation of a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum MappingStrand {
     /// The read maps to the reference forward strand.
     Forward,
@@ -15,8 +14,7 @@ pub enum MappingStrand {
 }
 
 /// A read-to-reference mapping produced by the chainer.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Mapping {
     /// Strand of the reference the read maps to.
     pub strand: MappingStrand,
@@ -31,8 +29,7 @@ pub struct Mapping {
 }
 
 /// Configuration of the mapper.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MapperConfig {
     /// Minimizer scheme.
     pub minimizers: MinimizerParams,
@@ -209,7 +206,10 @@ pub fn banded_align(
     reference_window: &Sequence,
     band: usize,
 ) -> (usize, Vec<Option<sf_genome::Base>>) {
-    assert!(!read.is_empty() && !reference_window.is_empty(), "sequences must be non-empty");
+    assert!(
+        !read.is_empty() && !reference_window.is_empty(),
+        "sequences must be non-empty"
+    );
     let n = read.len();
     let m = reference_window.len();
     let band = band.max(n.abs_diff(m) + 1);
@@ -244,7 +244,10 @@ pub fn banded_align(
         let sub = dp[idx(i - 1, j - 1)];
         let del = dp[idx(i, j - 1)];
         let ins = dp[idx(i - 1, j)];
-        if here == sub + usize::from(read[i - 1] != reference_window[j - 1]) && sub <= del && sub <= ins {
+        if here == sub + usize::from(read[i - 1] != reference_window[j - 1])
+            && sub <= del
+            && sub <= ins
+        {
             aligned[j - 1] = Some(read[i - 1]);
             i -= 1;
             j -= 1;
@@ -261,8 +264,8 @@ pub fn banded_align(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sf_genome::random::{human_like_background, random_genome};
     use sf_genome::mutate::random_substitutions;
+    use sf_genome::random::{human_like_background, random_genome};
 
     fn genome() -> Sequence {
         random_genome(42, 30_000)
@@ -273,9 +276,15 @@ mod tests {
         let genome = genome();
         let mapper = Mapper::new(&genome, MapperConfig::default());
         for (start, end) in [(0, 2_000), (10_000, 13_000), (27_000, 30_000)] {
-            let mapping = mapper.map(&genome.subsequence(start, end)).expect("fragment maps");
+            let mapping = mapper
+                .map(&genome.subsequence(start, end))
+                .expect("fragment maps");
             assert_eq!(mapping.strand, MappingStrand::Forward);
-            assert!(mapping.reference_start.abs_diff(start) < 100, "start {}", mapping.reference_start);
+            assert!(
+                mapping.reference_start.abs_diff(start) < 100,
+                "start {}",
+                mapping.reference_start
+            );
             assert!(mapping.reference_end.abs_diff(end) < 100);
         }
     }

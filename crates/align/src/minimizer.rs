@@ -8,8 +8,7 @@ use sf_genome::Sequence;
 use std::collections::HashMap;
 
 /// A single minimizer occurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct Minimizer {
     /// Invertible hash of the k-mer.
     pub hash: u64,
@@ -18,8 +17,7 @@ pub struct Minimizer {
 }
 
 /// Parameters of the minimizer scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct MinimizerParams {
     /// k-mer length.
     pub k: usize,
@@ -60,7 +58,10 @@ pub fn minimizers(seq: &Sequence, params: MinimizerParams) -> Vec<Minimizer> {
     if hashes.len() < w {
         // Degenerate: one window covering everything.
         if let Some((pos, &hash)) = hashes.iter().enumerate().min_by_key(|(_, &h)| h) {
-            out.push(Minimizer { hash, position: pos });
+            out.push(Minimizer {
+                hash,
+                position: pos,
+            });
         }
         return out;
     }
@@ -73,7 +74,10 @@ pub fn minimizers(seq: &Sequence, params: MinimizerParams) -> Vec<Minimizer> {
             .expect("window is non-empty");
         let pos = window_start + offset;
         if last != Some(pos) {
-            out.push(Minimizer { hash, position: pos });
+            out.push(Minimizer {
+                hash,
+                position: pos,
+            });
             last = Some(pos);
         }
     }
@@ -149,7 +153,10 @@ mod tests {
         let ms = minimizers(&genome, params);
         let density = ms.len() as f64 / genome.len() as f64;
         let expected = 2.0 / (params.w as f64 + 1.0);
-        assert!((density - expected).abs() < 0.05, "density {density} vs {expected}");
+        assert!(
+            (density - expected).abs() < 0.05,
+            "density {density} vs {expected}"
+        );
     }
 
     #[test]
@@ -179,10 +186,7 @@ mod tests {
         let anchors = index.anchors(&fragment);
         assert!(!anchors.is_empty());
         // Every anchor from an exact fragment maps at a constant diagonal.
-        let on_diagonal = anchors
-            .iter()
-            .filter(|(q, r)| *r == *q + 10_000)
-            .count();
+        let on_diagonal = anchors.iter().filter(|(q, r)| *r == *q + 10_000).count();
         assert!(on_diagonal as f64 / anchors.len() as f64 > 0.8);
     }
 

@@ -16,8 +16,7 @@
 use sf_hw::MINION_MAX_BASES_PER_S;
 
 /// Which basecaller neural network is modelled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum BasecallerKind {
     /// High-accuracy Guppy (`dna_r9.4.1_450bps_hac`).
     Guppy,
@@ -26,8 +25,7 @@ pub enum BasecallerKind {
 }
 
 /// Which compute platform the basecaller runs on (paper Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Platform {
     /// NVIDIA Titan XP, 3840 CUDA cores @ 1582 MHz, 250 W (server class).
     TitanXp,
@@ -65,8 +63,7 @@ impl Platform {
 }
 
 /// Operating mode of the basecaller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum BasecallMode {
     /// Large batches of whole reads (highest throughput).
     Offline,
@@ -76,8 +73,7 @@ pub enum BasecallMode {
 }
 
 /// Analytical performance model of a GPU basecaller.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct GpuBasecallerModel {
     /// Which network.
     pub kind: BasecallerKind,
@@ -113,7 +109,8 @@ impl GpuBasecallerModel {
 
     /// Basecalling throughput in bases per second for the given mode.
     pub fn throughput_bases_per_s(&self, mode: BasecallMode) -> f64 {
-        let offline = Self::titan_offline_bases_per_s(self.kind) * self.platform.relative_throughput();
+        let offline =
+            Self::titan_offline_bases_per_s(self.kind) * self.platform.relative_throughput();
         match mode {
             BasecallMode::Offline => offline,
             BasecallMode::ReadUntil => offline / Self::read_until_penalty(self.kind),
@@ -123,7 +120,8 @@ impl GpuBasecallerModel {
     /// Basecalling throughput in signal samples per second (≈8.9 samples per
     /// base).
     pub fn throughput_samples_per_s(&self, mode: BasecallMode) -> f64 {
-        self.throughput_bases_per_s(mode) * (sf_hw::MINION_MAX_SAMPLES_PER_S / MINION_MAX_BASES_PER_S)
+        self.throughput_bases_per_s(mode)
+            * (sf_hw::MINION_MAX_SAMPLES_PER_S / MINION_MAX_BASES_PER_S)
     }
 
     /// Per-chunk (2000-sample) classification latency in milliseconds in Read
@@ -151,8 +149,7 @@ impl GpuBasecallerModel {
 
 /// DNN / sDTW operation counts per 2000-sample chunk from §4.8, used by the
 /// compute-bottleneck analysis (Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct OperationCounts {
     /// Millions of operations per classified read for Guppy.
     pub guppy_mops: f64,
@@ -189,7 +186,10 @@ mod tests {
         // The paper: ~95,700 bases/s ≈ 41.5 % of the MinION's 230,400 b/s.
         let model = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::JetsonXavier);
         let bases = model.throughput_bases_per_s(BasecallMode::ReadUntil);
-        assert!((88_000.0..105_000.0).contains(&bases), "read-until bases/s {bases}");
+        assert!(
+            (88_000.0..105_000.0).contains(&bases),
+            "read-until bases/s {bases}"
+        );
         let coverage = model.minion_coverage(BasecallMode::ReadUntil);
         assert!((0.35..0.5).contains(&coverage), "coverage {coverage}");
     }
@@ -209,7 +209,10 @@ mod tests {
     fn guppy_is_slower_but_latency_dominates_for_both() {
         let lite = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp);
         let full = GpuBasecallerModel::new(BasecallerKind::Guppy, Platform::TitanXp);
-        assert!(full.throughput_bases_per_s(BasecallMode::Offline) < lite.throughput_bases_per_s(BasecallMode::Offline));
+        assert!(
+            full.throughput_bases_per_s(BasecallMode::Offline)
+                < lite.throughput_bases_per_s(BasecallMode::Offline)
+        );
         // Paper: 149 ms for Guppy-lite, > 1 s for Guppy.
         assert!((lite.read_until_latency_ms() - 149.0).abs() < 1.0);
         assert!(full.read_until_latency_ms() > 1_000.0);
@@ -221,7 +224,10 @@ mod tests {
     #[test]
     fn platform_specs_match_table3() {
         assert_eq!(Platform::TitanXp.spec(), ("Titan XP", 3_840, 1_582));
-        assert_eq!(Platform::JetsonXavier.spec(), ("Jetson AGX Xavier", 512, 1_377));
+        assert_eq!(
+            Platform::JetsonXavier.spec(),
+            ("Jetson AGX Xavier", 512, 1_377)
+        );
         assert!((0.3..0.5).contains(&Platform::JetsonXavier.relative_throughput()));
         assert!(Platform::TitanXp.power_w() > Platform::JetsonXavier.power_w());
     }

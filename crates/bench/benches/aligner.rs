@@ -1,9 +1,9 @@
 //! Criterion bench for the minimizer mapper and FM-index.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sf_align::{FmIndex, Mapper, MapperConfig};
 use sf_genome::random::random_genome;
+use std::hint::black_box;
 
 fn bench_aligner(c: &mut Criterion) {
     let genome = random_genome(5, 48_000);

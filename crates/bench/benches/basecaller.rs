@@ -1,10 +1,10 @@
 //! Criterion bench for the HMM basecaller baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use sf_basecall::{Basecaller, BasecallerConfig};
 use sf_genome::random::random_genome;
 use sf_pore_model::KmerModel;
+use std::hint::black_box;
 
 fn bench_basecaller(c: &mut Criterion) {
     // k=4 keeps the Viterbi state space small enough for a quick bench.

@@ -1,0 +1,59 @@
+//! Criterion bench for the `BatchClassifier`: whole-batch classification
+//! throughput as the worker-thread count grows, plus the chunk-size knob.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sf_pore_model::KmerModel;
+use sf_sdtw::{BatchClassifier, BatchConfig, FilterConfig, SquiggleFilter};
+use sf_sim::DatasetBuilder;
+use sf_squiggle::RawSquiggle;
+use std::hint::black_box;
+
+fn bench_batch_classify(c: &mut Criterion) {
+    // A reduced-size target genome keeps one batch in the tens of
+    // milliseconds, so the sweep finishes quickly even single-threaded.
+    let genome = sf_genome::random::random_genome(29, 4_000);
+    let dataset = DatasetBuilder::new("batch-bench", genome, 29)
+        .target_reads(16)
+        .background_reads(16)
+        .background_length(120_000)
+        .build();
+    let model = KmerModel::synthetic_r94(0);
+    let filter = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(50_000.0),
+    );
+    let squiggles: Vec<RawSquiggle> = dataset.reads.iter().map(|r| r.squiggle.clone()).collect();
+
+    let mut group = c.benchmark_group("batch_classify");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(squiggles.len() as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let batch =
+                    BatchClassifier::new(filter.clone(), BatchConfig::with_threads(threads));
+                b.iter(|| black_box(batch.classify_batch(black_box(&squiggles))));
+            },
+        );
+    }
+    for chunk in [1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("chunk_size", chunk),
+            &chunk,
+            |b, &chunk| {
+                let batch = BatchClassifier::new(
+                    filter.clone(),
+                    BatchConfig::with_threads(2).chunk_size(chunk),
+                );
+                b.iter(|| black_box(batch.classify_batch(black_box(&squiggles))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_classify);
+criterion_main!(benches);

@@ -1,9 +1,9 @@
 //! Criterion bench for the cycle-level systolic-array simulator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use sf_hw::SystolicArray;
 use sf_sdtw::SdtwConfig;
+use std::hint::black_box;
 
 fn pseudo_random_i8(len: usize, seed: u32) -> Vec<i8> {
     let mut x = seed;

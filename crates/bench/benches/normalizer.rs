@@ -1,9 +1,9 @@
 //! Criterion bench for the software and hardware-model normalizers.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use sf_hw::HardwareNormalizer;
 use sf_squiggle::Normalizer;
+use std::hint::black_box;
 
 fn bench_normalizer(c: &mut Criterion) {
     let raw: Vec<u16> = (0..10_000).map(|i| 450 + ((i * 31) % 140) as u16).collect();

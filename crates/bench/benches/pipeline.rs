@@ -2,11 +2,11 @@
 //! Read Until verdict out (normalization + sDTW against a viral reference).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use sf_pore_model::KmerModel;
-use sf_sdtw::{FilterConfig, MultiStageConfig, MultiStageFilter, SquiggleFilter};
 use sf_pore_model::ReferenceSquiggle;
+use sf_sdtw::{FilterConfig, MultiStageConfig, MultiStageFilter, SquiggleFilter};
 use sf_sim::DatasetBuilder;
+use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
     let dataset = DatasetBuilder::covid(71)
@@ -22,20 +22,25 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(squiggles.len() as u64));
     for prefix in [1_000usize, 2_000] {
-        group.bench_with_input(BenchmarkId::new("single_stage_classify", prefix), &prefix, |b, &prefix| {
-            let filter = SquiggleFilter::new(
-                &reference,
-                FilterConfig::hardware(50_000.0).with_prefix_samples(prefix),
-            );
-            b.iter(|| {
-                for squiggle in &squiggles {
-                    black_box(filter.classify(black_box(squiggle)));
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("single_stage_classify", prefix),
+            &prefix,
+            |b, &prefix| {
+                let filter = SquiggleFilter::new(
+                    &reference,
+                    FilterConfig::hardware(50_000.0).with_prefix_samples(prefix),
+                );
+                b.iter(|| {
+                    for squiggle in &squiggles {
+                        black_box(filter.classify(black_box(squiggle)));
+                    }
+                });
+            },
+        );
     }
     group.bench_function("two_stage_classify", |b| {
-        let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(80_000.0, 40_000.0));
+        let filter =
+            MultiStageFilter::new(&reference, MultiStageConfig::two_stage(80_000.0, 40_000.0));
         b.iter(|| {
             for squiggle in &squiggles {
                 black_box(filter.classify(black_box(squiggle)));

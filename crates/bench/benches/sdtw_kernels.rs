@@ -2,8 +2,8 @@
 //! vanilla and hardware-friendly variants (the §4.8 compute comparison).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use sf_sdtw::{FloatSdtw, IntSdtw, SdtwConfig};
+use std::hint::black_box;
 
 fn pseudo_random_i8(len: usize, seed: u32) -> Vec<i8> {
     let mut x = seed;

@@ -1,0 +1,171 @@
+//! Batch-classification thread sweep (Figure 21 companion): throughput of the
+//! `BatchClassifier` at 1, 2, 4 and 8 worker threads over a simulated
+//! labelled dataset, written to `BENCH_batch.json` for CI trend tracking.
+//!
+//! Usage: `cargo run --release -p sf-bench --bin batch_scaling [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks the dataset so the sweep finishes in seconds (used by the
+//! CI bench-smoke job); the default size is meant for real measurements.
+
+use sf_bench::{print_header, score_dataset, split_costs};
+use sf_metrics::ConfusionMatrix;
+use sf_pore_model::KmerModel;
+use sf_sdtw::{calibrate_threshold, BatchClassifier, BatchConfig, FilterConfig, SquiggleFilter};
+use sf_sim::{Dataset, DatasetBuilder};
+use sf_squiggle::RawSquiggle;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct SweepPoint {
+    threads: usize,
+    seconds: f64,
+    reads_per_s: f64,
+    speedup: f64,
+    confusion: ConfusionMatrix,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_batch.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    eprintln!("usage: batch_scaling [--quick] [--out PATH]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: batch_scaling [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    print_header(
+        "Batch scaling",
+        "BatchClassifier throughput vs worker threads",
+    );
+    let (genome_len, reads_per_class) = if quick { (3_000, 24) } else { (8_000, 100) };
+    let genome = sf_genome::random::random_genome(41, genome_len);
+    let dataset = DatasetBuilder::new("batch-sweep", genome, 41)
+        .target_reads(reads_per_class)
+        .background_reads(reads_per_class)
+        .background_length(150_000)
+        .build();
+    let model = KmerModel::synthetic_r94(0);
+
+    // Calibrate the verdict threshold on the dataset itself (best F1).
+    let scored = score_dataset(&dataset, FilterConfig::hardware(f64::MAX), 0);
+    let (target_costs, background_costs) = split_costs(&scored);
+    let threshold = calibrate_threshold(&target_costs, &background_costs)
+        .best_f1()
+        .map_or(50_000.0, |point| point.threshold);
+    let filter = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(threshold),
+    );
+
+    let squiggles: Vec<RawSquiggle> = dataset.reads.iter().map(|r| r.squiggle.clone()).collect();
+    let labels: Vec<bool> = dataset.reads.iter().map(|r| r.is_target()).collect();
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "dataset: {} reads, genome {} bp, threshold {:.0}, machine parallelism {}",
+        squiggles.len(),
+        dataset.target_genome.len(),
+        threshold,
+        parallelism
+    );
+    println!();
+    println!(
+        "{:>8} {:>12} {:>14} {:>10} {:>10}",
+        "threads", "seconds", "reads/s", "speedup", "accuracy"
+    );
+
+    let mut points: Vec<SweepPoint> = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let batch = BatchClassifier::new(filter.clone(), BatchConfig::with_threads(threads));
+        // Warm-up pass (first touch of the reference is not what we measure),
+        // then the timed pass. Runs in quick mode too: the threads=1 point is
+        // measured first and would otherwise absorb cold-start costs, biasing
+        // every later speedup_vs_1t upward.
+        batch.classify_batch(&squiggles[..squiggles.len().min(8)]);
+        let start = Instant::now();
+        let report = batch.classify_labelled(&squiggles, &labels);
+        let seconds = start.elapsed().as_secs_f64();
+        let reads_per_s = squiggles.len() as f64 / seconds;
+        let speedup = points
+            .first()
+            .map_or(1.0, |base| reads_per_s / base.reads_per_s);
+        println!(
+            "{:>8} {:>12.3} {:>14.2} {:>9.2}x {:>9.1}%",
+            threads,
+            seconds,
+            reads_per_s,
+            speedup,
+            report.confusion.accuracy() * 100.0
+        );
+        points.push(SweepPoint {
+            threads,
+            seconds,
+            reads_per_s,
+            speedup,
+            confusion: report.confusion,
+        });
+    }
+
+    let json = render_json(&dataset, threshold, parallelism, quick, &points);
+    std::fs::write(&out_path, json).expect("write BENCH_batch.json");
+    println!();
+    println!("wrote {out_path}");
+}
+
+fn render_json(
+    dataset: &Dataset,
+    threshold: f64,
+    parallelism: usize,
+    quick: bool,
+    points: &[SweepPoint],
+) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"batch_scaling\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"dataset\": {{");
+    let _ = writeln!(json, "    \"name\": \"{}\",", dataset.name);
+    let _ = writeln!(json, "    \"reads\": {},", dataset.reads.len());
+    let _ = writeln!(json, "    \"genome_bp\": {},", dataset.target_genome.len());
+    let _ = writeln!(json, "    \"threshold\": {threshold:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"machine\": {{ \"available_parallelism\": {parallelism} }},"
+    );
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"threads\": {}, \"seconds\": {:.6}, \"reads_per_s\": {:.3}, \
+             \"speedup_vs_1t\": {:.3}, \"accuracy\": {:.4}, \"tpr\": {:.4}, \"fpr\": {:.4} }}{comma}",
+            p.threads,
+            p.seconds,
+            p.reads_per_s,
+            p.speedup,
+            p.confusion.accuracy(),
+            p.confusion.true_positive_rate(),
+            p.confusion.false_positive_rate(),
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    json
+}

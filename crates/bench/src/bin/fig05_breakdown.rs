@@ -5,8 +5,14 @@ use sf_bench::print_header;
 use sf_readuntil::compute_breakdown;
 
 fn main() {
-    print_header("Figure 5", "Pipeline compute breakdown (basecalling dominates)");
-    println!("{:<16} {:>14} {:>12} {:>16}", "viral fraction", "basecalling", "alignment", "variant calling");
+    print_header(
+        "Figure 5",
+        "Pipeline compute breakdown (basecalling dominates)",
+    );
+    println!(
+        "{:<16} {:>14} {:>12} {:>16}",
+        "viral fraction", "basecalling", "alignment", "variant calling"
+    );
     for fraction in [0.01, 0.001] {
         let b = compute_breakdown(fraction);
         println!(

@@ -4,9 +4,15 @@ use sf_bench::print_header;
 use sf_readuntil::throughput_growth;
 
 fn main() {
-    print_header("Figure 6", "Sequencing throughput growth (relative to a 2021 MinION)");
+    print_header(
+        "Figure 6",
+        "Sequencing throughput growth (relative to a 2021 MinION)",
+    );
     println!("{:<6} {:<36} {:>12}", "year", "device", "relative");
     for point in throughput_growth() {
-        println!("{:<6} {:<36} {:>11.2}x", point.year, point.device, point.relative_throughput);
+        println!(
+            "{:<6} {:<36} {:>11.2}x",
+            point.year, point.device, point.relative_throughput
+        );
     }
 }

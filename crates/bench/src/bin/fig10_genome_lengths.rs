@@ -8,14 +8,25 @@ fn main() {
     print_header("Figure 10", "Epidemic virus genome lengths");
     let mut catalog = epidemic_viruses();
     catalog.sort_by_key(|v| v.genome_length);
-    println!("{:<24} {:>12} {:>8} {:>18}", "virus", "length (b)", "kind", "fits accelerator");
+    println!(
+        "{:<24} {:>12} {:>8} {:>18}",
+        "virus", "length (b)", "kind", "fits accelerator"
+    );
     for virus in catalog {
         println!(
             "{:<24} {:>12} {:>8} {:>18}",
             virus.name,
             virus.genome_length,
-            if virus.kind.is_double_stranded() { "ds" } else { "ss" },
-            if virus.fits_accelerator() { "yes" } else { "NO" }
+            if virus.kind.is_double_stranded() {
+                "ds"
+            } else {
+                "ss"
+            },
+            if virus.fits_accelerator() {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!("\ndesign limit: {MAX_SUPPORTED_SS_LENGTH} bases single-stranded / {MAX_SUPPORTED_DS_LENGTH} double-stranded");

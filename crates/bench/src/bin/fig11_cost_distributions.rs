@@ -7,7 +7,10 @@ use sf_sdtw::FilterConfig;
 use sf_sim::DatasetBuilder;
 
 fn main() {
-    print_header("Figure 11", "sDTW cost distributions (viral vs background) per prefix length");
+    print_header(
+        "Figure 11",
+        "sDTW cost distributions (viral vs background) per prefix length",
+    );
     let dataset = DatasetBuilder::lambda(21)
         .target_reads(150)
         .background_reads(150)

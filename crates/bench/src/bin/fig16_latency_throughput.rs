@@ -6,14 +6,28 @@ use sf_bench::print_header;
 use sf_hw::{AcceleratorModel, MINION_MAX_SAMPLES_PER_S};
 
 fn main() {
-    print_header("Figure 16", "Classification latency and throughput during Read Until");
+    print_header(
+        "Figure 16",
+        "Classification latency and throughput during Read Until",
+    );
     println!("a) latency per 2000-sample decision:");
     let guppy = GpuBasecallerModel::new(BasecallerKind::Guppy, Platform::TitanXp);
     let lite = GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp);
     let sf = AcceleratorModel::default().lambda_design_point();
-    println!("   {:<28} {:>12.2} ms", "Guppy (Titan XP)", guppy.read_until_latency_ms());
-    println!("   {:<28} {:>12.2} ms", "Guppy-lite (Titan XP)", lite.read_until_latency_ms());
-    println!("   {:<28} {:>12.3} ms", "SquiggleFilter (lambda)", sf.latency_ms);
+    println!(
+        "   {:<28} {:>12.2} ms",
+        "Guppy (Titan XP)",
+        guppy.read_until_latency_ms()
+    );
+    println!(
+        "   {:<28} {:>12.2} ms",
+        "Guppy-lite (Titan XP)",
+        lite.read_until_latency_ms()
+    );
+    println!(
+        "   {:<28} {:>12.3} ms",
+        "SquiggleFilter (lambda)", sf.latency_ms
+    );
     println!(
         "   latency ratio Guppy-lite / SquiggleFilter = {:.0}x",
         lite.read_until_latency_ms() / sf.latency_ms
@@ -21,9 +35,18 @@ fn main() {
 
     println!("\nb) classification throughput (signal samples/s):");
     for (name, model) in [
-        ("Guppy (Titan XP)", GpuBasecallerModel::new(BasecallerKind::Guppy, Platform::TitanXp)),
-        ("Guppy-lite (Jetson Xavier)", GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::JetsonXavier)),
-        ("Guppy-lite (Titan XP)", GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp)),
+        (
+            "Guppy (Titan XP)",
+            GpuBasecallerModel::new(BasecallerKind::Guppy, Platform::TitanXp),
+        ),
+        (
+            "Guppy-lite (Jetson Xavier)",
+            GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::JetsonXavier),
+        ),
+        (
+            "Guppy-lite (Titan XP)",
+            GpuBasecallerModel::new(BasecallerKind::GuppyLite, Platform::TitanXp),
+        ),
     ] {
         println!(
             "   {:<28} {:>12.2} M samples/s",

@@ -19,7 +19,11 @@ fn run_for(name: &str, dataset: &sf_sim::Dataset, genome_length: usize) {
             0,
         );
         let curve = roc_curve(&samples);
-        println!("   prefix {prefix:>5}: AUC {:.3}  max F1 {:.3}", curve.auc(), curve.max_f1());
+        println!(
+            "   prefix {prefix:>5}: AUC {:.3}  max F1 {:.3}",
+            curve.auc(),
+            curve.max_f1()
+        );
         if let Some(point) = curve.best_f1() {
             best_points.push((
                 prefix,
@@ -52,7 +56,10 @@ fn run_for(name: &str, dataset: &sf_sim::Dataset, genome_length: usize) {
 }
 
 fn main() {
-    print_header("Figure 17", "SquiggleFilter Read Until accuracy and runtime");
+    print_header(
+        "Figure 17",
+        "SquiggleFilter Read Until accuracy and runtime",
+    );
     let lambda = DatasetBuilder::lambda(31)
         .target_reads(120)
         .background_reads(120)

@@ -15,23 +15,42 @@ fn main() {
         .build();
 
     let variants: Vec<(&str, FilterPrecision, SdtwConfig)> = vec![
-        ("vanilla sDTW (float, squared)", FilterPrecision::Float32, SdtwConfig::vanilla()),
+        (
+            "vanilla sDTW (float, squared)",
+            FilterPrecision::Float32,
+            SdtwConfig::vanilla(),
+        ),
         (
             "absolute difference (float)",
             FilterPrecision::Float32,
             SdtwConfig::vanilla().with_distance(DistanceMetric::Absolute),
         ),
-        ("integer normalization (int8)", FilterPrecision::Int8, SdtwConfig::vanilla()),
+        (
+            "integer normalization (int8)",
+            FilterPrecision::Int8,
+            SdtwConfig::vanilla(),
+        ),
         (
             "no reference deletions (float)",
             FilterPrecision::Float32,
             SdtwConfig::vanilla().with_reference_deletions(false),
         ),
-        ("all three (int8, abs, no-del)", FilterPrecision::Int8, SdtwConfig::hardware_without_bonus()),
-        ("all three + match bonus", FilterPrecision::Int8, SdtwConfig::hardware()),
+        (
+            "all three (int8, abs, no-del)",
+            FilterPrecision::Int8,
+            SdtwConfig::hardware_without_bonus(),
+        ),
+        (
+            "all three + match bonus",
+            FilterPrecision::Int8,
+            SdtwConfig::hardware(),
+        ),
     ];
 
-    println!("{:<34} {:>10} {:>10} {:>10}", "configuration", "1000", "2000", "4000");
+    println!(
+        "{:<34} {:>10} {:>10} {:>10}",
+        "configuration", "1000", "2000", "4000"
+    );
     for (name, precision, sdtw) in variants {
         let mut row = format!("{name:<34}");
         for prefix in [1_000usize, 2_000, 4_000] {

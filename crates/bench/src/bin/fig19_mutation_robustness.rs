@@ -9,7 +9,10 @@ use sf_sdtw::{FilterConfig, SquiggleFilter};
 use sf_sim::DatasetBuilder;
 
 fn main() {
-    print_header("Figure 19", "Accuracy vs number of reference mutations (lambda)");
+    print_header(
+        "Figure 19",
+        "Accuracy vs number of reference mutations (lambda)",
+    );
     let dataset = DatasetBuilder::lambda(51)
         .target_reads(80)
         .background_reads(80)
@@ -31,7 +34,11 @@ fn main() {
             })
             .collect();
         let curve = roc_curve(&samples);
-        println!("{mutations:>12} {:>10.3} {:>10.3}", curve.auc(), curve.max_f1());
+        println!(
+            "{mutations:>12} {:>10.3} {:>10.3}",
+            curve.auc(),
+            curve.max_f1()
+        );
     }
     println!("\n(accuracy stays high until the reference drifts by well over a thousand bases)");
 }

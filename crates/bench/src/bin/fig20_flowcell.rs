@@ -6,7 +6,10 @@ use sf_bench::print_header;
 use sf_sim::{FlowCellConfig, FlowCellSimulator, ReadUntilPolicy};
 
 fn main() {
-    print_header("Figure 20", "Active channels over time (control vs Read Until, with wash)");
+    print_header(
+        "Figure 20",
+        "Active channels over time (control vs Read Until, with wash)",
+    );
     let config = FlowCellConfig {
         channels: 256,
         duration_s: 4.0 * 3600.0,
@@ -24,9 +27,17 @@ fn main() {
     };
     let read_until = FlowCellSimulator::new(config, 7).run(Some(policy), 600.0);
 
-    println!("{:>10} {:>18} {:>18}", "time (min)", "control channels", "read-until channels");
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "time (min)", "control channels", "read-until channels"
+    );
     for (c, r) in control.timeline.iter().zip(&read_until.timeline) {
-        println!("{:>10.0} {:>18} {:>18}", c.time_s / 60.0, c.active_channels, r.active_channels);
+        println!(
+            "{:>10.0} {:>18} {:>18}",
+            c.time_s / 60.0,
+            c.active_channels,
+            r.active_channels
+        );
     }
     println!(
         "\ntarget-base enrichment: control {:.2}% vs Read Until {:.2}%  (ejected {} of {} reads)",

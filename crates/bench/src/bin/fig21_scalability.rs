@@ -5,7 +5,10 @@ use sf_bench::print_header;
 use sf_readuntil::{scalability_curve, ScalabilityClassifier};
 
 fn main() {
-    print_header("Figure 21", "Read Until coverage vs future sequencer throughput");
+    print_header(
+        "Figure 21",
+        "Read Until coverage vs future sequencer throughput",
+    );
     let multiples: Vec<f64> = vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 100.0, 128.0];
     let jetson = scalability_curve(ScalabilityClassifier::GuppyLiteJetson, &multiples, 96_994);
     let titan = scalability_curve(ScalabilityClassifier::GuppyLiteTitan, &multiples, 96_994);

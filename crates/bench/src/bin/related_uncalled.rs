@@ -1,16 +1,19 @@
 //! Section 8 related-work comparison: an UNCALLED-style event/FM-index
 //! classifier versus the sDTW filter on 2000-sample chunks.
 
+use sf_align::{UncalledClassifier, UncalledConfig};
 use sf_bench::print_header;
 use sf_metrics::ConfusionMatrix;
 use sf_pore_model::{AdcModel, KmerModel};
 use sf_sdtw::{calibrate_threshold, FilterConfig, SquiggleFilter};
 use sf_sim::DatasetBuilder;
 use sf_squiggle::EventDetector;
-use sf_align::{UncalledClassifier, UncalledConfig};
 
 fn main() {
-    print_header("Related work", "UNCALLED-style classifier vs SquiggleFilter (2000-sample chunks)");
+    print_header(
+        "Related work",
+        "UNCALLED-style classifier vs SquiggleFilter (2000-sample chunks)",
+    );
     let dataset = DatasetBuilder::lambda(61)
         .target_reads(60)
         .background_reads(60)
@@ -19,21 +22,40 @@ fn main() {
     let model = KmerModel::synthetic_r94(0);
     let adc = AdcModel::default();
     let detector = EventDetector::default();
-    let uncalled = UncalledClassifier::new(&dataset.target_genome, model.clone(), UncalledConfig::default());
+    let uncalled = UncalledClassifier::new(
+        &dataset.target_genome,
+        model.clone(),
+        UncalledConfig::default(),
+    );
 
     // Calibrate the sDTW threshold on half the reads.
-    let filter_uncal = SquiggleFilter::from_genome(&model, &dataset.target_genome, FilterConfig::hardware(f64::MAX));
+    let filter_uncal = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(f64::MAX),
+    );
     let mut t = Vec::new();
     let mut b = Vec::new();
     for (i, item) in dataset.reads.iter().enumerate() {
         if i % 2 == 0 {
             if let Some(r) = filter_uncal.score(&item.squiggle) {
-                if item.is_target() { t.push(r.cost) } else { b.push(r.cost) }
+                if item.is_target() {
+                    t.push(r.cost)
+                } else {
+                    b.push(r.cost)
+                }
             }
         }
     }
-    let threshold = calibrate_threshold(&t, &b).best_f1().map(|p| p.threshold).unwrap_or(f64::MAX);
-    let filter = SquiggleFilter::from_genome(&model, &dataset.target_genome, FilterConfig::hardware(threshold));
+    let threshold = calibrate_threshold(&t, &b)
+        .best_f1()
+        .map(|p| p.threshold)
+        .unwrap_or(f64::MAX);
+    let filter = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(threshold),
+    );
 
     let mut sdtw_matrix = ConfusionMatrix::new();
     let mut uncalled_matrix = ConfusionMatrix::new();
@@ -45,14 +67,24 @@ fn main() {
         }
         evaluated += 1;
         let chunk = item.squiggle.prefix(2_000);
-        sdtw_matrix.record(item.is_target(), filter.classify(&chunk).verdict.is_accept());
-        let pa: Vec<f32> = chunk.samples().iter().map(|&s| adc.to_picoamps(s)).collect();
+        sdtw_matrix.record(
+            item.is_target(),
+            filter.classify(&chunk).verdict.is_accept(),
+        );
+        let pa: Vec<f32> = chunk
+            .samples()
+            .iter()
+            .map(|&s| adc.to_picoamps(s))
+            .collect();
         let events = detector.event_means(&pa);
         let hits = uncalled.clustered_hits(&events);
         if hits == 0 {
             unalignable += 1;
         }
-        uncalled_matrix.record(item.is_target(), hits >= uncalled.config().min_clustered_hits);
+        uncalled_matrix.record(
+            item.is_target(),
+            hits >= uncalled.config().min_clustered_hits,
+        );
     }
     println!("evaluated {evaluated} chunks of 2000 samples each");
     println!(

@@ -5,8 +5,14 @@ use sf_bench::print_header;
 use sf_readuntil::runtime::{RuntimeModel, SequencingParams};
 
 fn main() {
-    print_header("Table 1", "Virus detector comparison (sequencing rows from the runtime model)");
-    println!("{:<28} {:>12} {:>12} {:>10}", "test", "diagnostic", "time (min)", "cost ($)");
+    print_header(
+        "Table 1",
+        "Virus detector comparison (sequencing rows from the runtime model)",
+    );
+    println!(
+        "{:<28} {:>12} {:>12} {:>10}",
+        "test", "diagnostic", "time (min)", "cost ($)"
+    );
     // Non-sequencing tests: reported constants from the paper.
     for (name, diagnostic, minutes, cost) in [
         ("Antigen paper test", "presence", 15.0, 5.0),
@@ -32,6 +38,9 @@ fn main() {
             ..Default::default()
         });
         let minutes = prep_minutes + model.without_read_until().runtime_s / 60.0;
-        println!("{name:<28} {:>12} {minutes:>12.0} {cost:>10.0}", "whole genome");
+        println!(
+            "{name:<28} {:>12} {minutes:>12.0} {cost:>10.0}",
+            "whole genome"
+        );
     }
 }

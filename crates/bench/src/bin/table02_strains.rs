@@ -6,9 +6,15 @@ use sf_genome::random::covid_like_genome;
 use sf_genome::strain::simulate_table2_strains;
 
 fn main() {
-    print_header("Table 2", "Mutations between SARS-CoV-2 strains and the reference");
+    print_header(
+        "Table 2",
+        "Mutations between SARS-CoV-2 strains and the reference",
+    );
     let reference = covid_like_genome(1);
-    println!("{:<6} {:>6} {:>10}  {:<30} {:<14}", "clade", "mut.", "accession", "lab of origin", "country");
+    println!(
+        "{:<6} {:>6} {:>10}  {:<30} {:<14}",
+        "clade", "mut.", "accession", "lab of origin", "country"
+    );
     for strain in simulate_table2_strains(&reference, 42) {
         println!(
             "{:<6} {:>6} {:>10}  {:<30} {:<14}",
@@ -19,6 +25,9 @@ fn main() {
             strain.origin.country
         );
         assert_eq!(strain.indel_count(), 0);
-        assert_eq!(strain.genome.mismatches(&reference), strain.substitution_count());
+        assert_eq!(
+            strain.genome.mismatches(&reference),
+            strain.substitution_count()
+        );
     }
 }

@@ -5,9 +5,15 @@ use sf_bench::print_header;
 
 fn main() {
     print_header("Table 3", "Evaluated GPU platforms");
-    println!("{:<22} {:>8} {:>12} {:>10}", "platform", "cores", "clock (MHz)", "power (W)");
+    println!(
+        "{:<22} {:>8} {:>12} {:>10}",
+        "platform", "cores", "clock (MHz)", "power (W)"
+    );
     for platform in [Platform::JetsonXavier, Platform::TitanXp] {
         let (name, cores, clock) = platform.spec();
-        println!("{name:<22} {cores:>8} {clock:>12} {:>10.0}", platform.power_w());
+        println!(
+            "{name:<22} {cores:>8} {clock:>12} {:>10.0}",
+            platform.power_w()
+        );
     }
 }

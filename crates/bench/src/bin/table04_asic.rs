@@ -5,8 +5,14 @@ use sf_bench::print_header;
 use sf_hw::{AcceleratorModel, AsicModel};
 
 fn main() {
-    print_header("Table 4", "SquiggleFilter ASIC synthesis results (28 nm model)");
-    println!("{:<24} {:>12} {:>10}", "element", "area (mm^2)", "power (W)");
+    print_header(
+        "Table 4",
+        "SquiggleFilter ASIC synthesis results (28 nm model)",
+    );
+    println!(
+        "{:<24} {:>12} {:>10}",
+        "element", "area (mm^2)", "power (W)"
+    );
     for (element, area, power) in AsicModel::default().table4_rows() {
         println!("{element:<24} {area:>12.3} {power:>10.3}");
     }

@@ -14,7 +14,11 @@ use sf_sim::Dataset;
 
 /// Scores every read of a labelled dataset with a filter built from the
 /// dataset's own target genome, returning `(cost, is_target)` samples.
-pub fn score_dataset(dataset: &Dataset, config: FilterConfig, model_seed: u64) -> Vec<ScoredSample> {
+pub fn score_dataset(
+    dataset: &Dataset,
+    config: FilterConfig,
+    model_seed: u64,
+) -> Vec<ScoredSample> {
     let model = KmerModel::synthetic_r94(model_seed);
     let filter = SquiggleFilter::from_genome(&model, &dataset.target_genome, config);
     dataset

@@ -1,0 +1,322 @@
+//! Batched, multi-threaded read classification.
+//!
+//! A sequencer delivers reads in bursts — one chunk of raw signal per active
+//! pore per polling interval — so the serving path classifies *batches*, not
+//! single reads. [`BatchClassifier`] shards a batch across a pool of worker
+//! threads: the batch is cut into fixed-size chunks of reads and idle workers
+//! repeatedly pull the next unclaimed chunk from a shared queue
+//! (self-scheduling chunks, a la guided OpenMP), so a few
+//! slow reads (long prefixes, pathological alignments) cannot stall the other
+//! workers. Per-shard [`ConfusionMatrix`] tallies are merged at the end,
+//! mirroring how the paper's multi-tile accelerator aggregates per-tile
+//! verdicts (§4.8).
+//!
+//! The pool is implemented on `std::thread::scope`, which makes the engine
+//! dependency-free; the chunk queue gives the same dynamic load balancing a
+//! rayon `par_chunks` would, and the API is shaped so the internals can be
+//! swapped for rayon once a registry is reachable from the build environment.
+
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+
+use sf_metrics::ConfusionMatrix;
+use sf_squiggle::RawSquiggle;
+
+use crate::filter::{Classification, SquiggleFilter};
+
+/// Sharding configuration for a [`BatchClassifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Worker threads to spawn. `0` means "use the machine's available
+    /// parallelism".
+    pub num_threads: usize,
+    /// Reads per self-scheduled chunk. Small chunks balance load better;
+    /// large chunks amortize queue traffic. 8 reads (≈ 8 × 30 ms of sDTW on
+    /// a full viral reference) keeps queue overhead under 0.1 %.
+    pub chunk_size: usize,
+}
+
+impl BatchConfig {
+    /// `num_threads` workers with the default chunk size.
+    pub fn with_threads(num_threads: usize) -> Self {
+        BatchConfig {
+            num_threads,
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Sets the self-scheduled chunk size (clamped to at least 1 read).
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            num_threads: 0,
+            chunk_size: 8,
+        }
+    }
+}
+
+/// Outcome of a labelled batch classification.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-read outcomes, in input order.
+    pub classifications: Vec<Classification>,
+    /// Aggregate of the per-shard confusion matrices.
+    pub confusion: ConfusionMatrix,
+    /// Worker threads the batch actually ran on.
+    pub threads_used: usize,
+    /// Self-scheduled chunks the batch was cut into.
+    pub shards: usize,
+}
+
+/// A [`SquiggleFilter`] lifted to whole batches of reads.
+///
+/// # Examples
+///
+/// ```
+/// use sf_sdtw::{BatchClassifier, BatchConfig, FilterConfig, SquiggleFilter};
+/// use sf_pore_model::KmerModel;
+/// use sf_genome::random::random_genome;
+/// use sf_squiggle::RawSquiggle;
+///
+/// let model = KmerModel::synthetic_r94(0);
+/// let genome = random_genome(7, 1_000);
+/// let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(60_000.0));
+/// let batch = BatchClassifier::new(filter, BatchConfig::with_threads(2));
+///
+/// let reads: Vec<RawSquiggle> =
+///     (0..4).map(|i| RawSquiggle::new(vec![400 + i; 500], 4_000.0)).collect();
+/// let verdicts = batch.classify_batch(&reads);
+/// assert_eq!(verdicts.len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct BatchClassifier {
+    filter: SquiggleFilter,
+    config: BatchConfig,
+}
+
+/// One unit of schedulable work: a chunk of reads, the matching slice of the
+/// output buffer, and (for labelled runs) the matching labels.
+struct Shard<'a> {
+    reads: &'a [RawSquiggle],
+    labels: Option<&'a [bool]>,
+    out: &'a mut [Option<Classification>],
+}
+
+impl BatchClassifier {
+    /// Wraps `filter` for batched execution under `config`.
+    pub fn new(filter: SquiggleFilter, config: BatchConfig) -> Self {
+        BatchClassifier { filter, config }
+    }
+
+    /// The wrapped single-read filter.
+    pub fn filter(&self) -> &SquiggleFilter {
+        &self.filter
+    }
+
+    /// The sharding configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Worker count after resolving `num_threads == 0` to the machine's
+    /// available parallelism.
+    pub fn resolved_threads(&self) -> usize {
+        if self.config.num_threads > 0 {
+            self.config.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+        }
+    }
+
+    /// Classifies every read, preserving input order.
+    ///
+    /// Verdict-equivalent to calling [`SquiggleFilter::classify`] in a loop —
+    /// sharding never changes a verdict, only wall-clock time.
+    pub fn classify_batch(&self, reads: &[RawSquiggle]) -> Vec<Classification> {
+        self.run(reads, None).classifications
+    }
+
+    /// Classifies every read and scores the verdicts against ground-truth
+    /// `labels` (`true` = target read), merging per-shard confusion matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `labels.len() != reads.len()`.
+    pub fn classify_labelled(&self, reads: &[RawSquiggle], labels: &[bool]) -> BatchReport {
+        assert_eq!(
+            reads.len(),
+            labels.len(),
+            "one ground-truth label per read required"
+        );
+        self.run(reads, Some(labels))
+    }
+
+    fn run(&self, reads: &[RawSquiggle], labels: Option<&[bool]>) -> BatchReport {
+        let chunk = self.config.chunk_size.max(1);
+        // No point spawning more workers than there are shards.
+        let threads = self
+            .resolved_threads()
+            .min(reads.len().div_ceil(chunk))
+            .max(1);
+
+        let mut out: Vec<Option<Classification>> = vec![None; reads.len()];
+        let shards: Vec<Shard<'_>> = {
+            let mut label_chunks = labels.map(|l| l.chunks(chunk));
+            reads
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .map(|(reads, out)| Shard {
+                    reads,
+                    labels: label_chunks
+                        .as_mut()
+                        .map(|l| l.next().expect("label shard")),
+                    out,
+                })
+                .collect()
+        };
+        let shard_count = shards.len();
+
+        // FIFO queue of unclaimed shards; each worker pulls the next one
+        // whenever it goes idle.
+        let queue = Mutex::new(std::collections::VecDeque::from(shards));
+        let merged = Mutex::new(ConfusionMatrix::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local = ConfusionMatrix::new();
+                    loop {
+                        // Pop in its own statement: a `while let` scrutinee
+                        // would keep the MutexGuard alive through the loop
+                        // body, serializing every worker on the queue lock.
+                        let next = queue.lock().expect("shard queue").pop_front();
+                        let Some(shard) = next else { break };
+                        for (i, read) in shard.reads.iter().enumerate() {
+                            let classification = self.filter.classify(read);
+                            if let Some(labels) = shard.labels {
+                                local.record(labels[i], classification.verdict.is_accept());
+                            }
+                            shard.out[i] = Some(classification);
+                        }
+                    }
+                    merged.lock().expect("confusion merge").merge(&local);
+                });
+            }
+        });
+
+        BatchReport {
+            classifications: out
+                .into_iter()
+                .map(|c| c.expect("every shard processed"))
+                .collect(),
+            confusion: merged.into_inner().expect("confusion merge"),
+            threads_used: threads,
+            shards: shard_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::FilterConfig;
+    use sf_genome::random::random_genome;
+    use sf_pore_model::KmerModel;
+
+    fn small_classifier(threads: usize) -> BatchClassifier {
+        let model = KmerModel::synthetic_r94(0);
+        let genome = random_genome(5, 800);
+        let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(40_000.0));
+        BatchClassifier::new(filter, BatchConfig::with_threads(threads).chunk_size(3))
+    }
+
+    fn synthetic_reads(n: usize) -> Vec<RawSquiggle> {
+        (0..n)
+            .map(|i| {
+                let samples: Vec<u16> = (0..400)
+                    .map(|j| 350 + ((i * 131 + j * 17) % 300) as u16)
+                    .collect();
+                RawSquiggle::new(samples, 4_000.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_classify() {
+        let batch = small_classifier(4);
+        let reads = synthetic_reads(25);
+        let parallel = batch.classify_batch(&reads);
+        assert_eq!(parallel.len(), reads.len());
+        for (read, got) in reads.iter().zip(&parallel) {
+            let want = batch.filter().classify(read);
+            assert_eq!(want.verdict, got.verdict);
+            assert_eq!(want.result, got.result);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_counts_every_read() {
+        let batch = small_classifier(3);
+        let reads = synthetic_reads(20);
+        let labels: Vec<bool> = (0..reads.len()).map(|i| i % 2 == 0).collect();
+        let report = batch.classify_labelled(&reads, &labels);
+        assert_eq!(report.confusion.total(), reads.len() as u64);
+        assert_eq!(report.classifications.len(), reads.len());
+        assert_eq!(report.shards, reads.len().div_ceil(3));
+        // The merged matrix must agree with rescoring sequentially.
+        let mut sequential = ConfusionMatrix::new();
+        for (read, &label) in reads.iter().zip(&labels) {
+            sequential.record(label, batch.filter().classify(read).verdict.is_accept());
+        }
+        assert_eq!(report.confusion, sequential);
+    }
+
+    #[test]
+    fn empty_batch_is_empty_report() {
+        let batch = small_classifier(2);
+        let report = batch.classify_labelled(&[], &[]);
+        assert!(report.classifications.is_empty());
+        assert_eq!(report.confusion.total(), 0);
+        assert_eq!(report.shards, 0);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_verdicts() {
+        let reads = synthetic_reads(17);
+        let baseline: Vec<_> = small_classifier(1)
+            .classify_batch(&reads)
+            .into_iter()
+            .map(|c| c.verdict)
+            .collect();
+        for threads in [2, 4, 8] {
+            let verdicts: Vec<_> = small_classifier(threads)
+                .classify_batch(&reads)
+                .into_iter()
+                .map(|c| c.verdict)
+                .collect();
+            assert_eq!(baseline, verdicts, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn auto_thread_resolution_is_positive() {
+        let batch = small_classifier(0);
+        assert!(batch.resolved_threads() >= 1);
+        let reads = synthetic_reads(5);
+        assert_eq!(batch.classify_batch(&reads).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one ground-truth label per read")]
+    fn mismatched_labels_panic() {
+        let batch = small_classifier(1);
+        let reads = synthetic_reads(3);
+        batch.classify_labelled(&reads, &[true]);
+    }
+}

@@ -18,8 +18,9 @@
 
 /// The per-cell distance metric between a query sample and a reference
 /// sample.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum DistanceMetric {
     /// `(q - r)^2` — the textbook DTW metric (needs a multiplier).
     Squared,
@@ -52,8 +53,7 @@ impl DistanceMetric {
 
 /// Configuration of the translocation-rate-compensating match bonus
 /// (paper §4.7, "Match Bonus").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct MatchBonus {
     /// Cost reduction granted per sample that was aligned to the previous
     /// reference base (the paper uses 10).
@@ -65,7 +65,10 @@ pub struct MatchBonus {
 
 impl Default for MatchBonus {
     fn default() -> Self {
-        MatchBonus { bonus_per_sample: 10, dwell_cap: 10 }
+        MatchBonus {
+            bonus_per_sample: 10,
+            dwell_cap: 10,
+        }
     }
 }
 
@@ -79,8 +82,7 @@ impl MatchBonus {
 }
 
 /// Full kernel configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct SdtwConfig {
     /// Per-cell distance metric.
     pub distance: DistanceMetric,
@@ -175,7 +177,13 @@ mod tests {
         let hw = SdtwConfig::hardware();
         assert_eq!(hw.distance, DistanceMetric::Absolute);
         assert!(!hw.allow_reference_deletion);
-        assert_eq!(hw.match_bonus, Some(MatchBonus { bonus_per_sample: 10, dwell_cap: 10 }));
+        assert_eq!(
+            hw.match_bonus,
+            Some(MatchBonus {
+                bonus_per_sample: 10,
+                dwell_cap: 10
+            })
+        );
 
         assert!(SdtwConfig::hardware_without_bonus().match_bonus.is_none());
     }
@@ -185,7 +193,10 @@ mod tests {
         let config = SdtwConfig::vanilla()
             .with_distance(DistanceMetric::Absolute)
             .with_reference_deletions(false)
-            .with_match_bonus(Some(MatchBonus { bonus_per_sample: 5, dwell_cap: 4 }));
+            .with_match_bonus(Some(MatchBonus {
+                bonus_per_sample: 5,
+                dwell_cap: 4,
+            }));
         assert_eq!(config.distance, DistanceMetric::Absolute);
         assert!(!config.allow_reference_deletion);
         assert_eq!(config.match_bonus.unwrap().bonus_for_dwell(9), 20);

@@ -15,14 +15,13 @@ use crate::config::SdtwConfig;
 use crate::kernel_float::FloatSdtw;
 use crate::kernel_int::IntSdtw;
 use crate::result::SdtwResult;
+use sf_genome::Sequence;
 use sf_pore_model::{KmerModel, ReferenceSquiggle};
 use sf_squiggle::normalize::{quantize, Normalizer, NormalizerConfig};
 use sf_squiggle::RawSquiggle;
-use sf_genome::Sequence;
 
 /// Read Until decision for one read.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum FilterVerdict {
     /// The read matches the target reference: keep sequencing it.
     Accept,
@@ -38,8 +37,7 @@ impl FilterVerdict {
 }
 
 /// The classification outcome for one read.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Classification {
     /// Keep or eject.
     pub verdict: FilterVerdict,
@@ -50,8 +48,9 @@ pub struct Classification {
 }
 
 /// Numeric precision of the filter datapath.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum FilterPrecision {
     /// Signed 8-bit fixed-point samples and integer accumulation — the
     /// accelerator datapath ("integer normalization" in Figure 18).
@@ -62,8 +61,7 @@ pub enum FilterPrecision {
 }
 
 /// Configuration of a single-stage filter.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FilterConfig {
     /// sDTW kernel configuration.
     pub sdtw: SdtwConfig,
@@ -154,7 +152,10 @@ impl SquiggleFilter {
         let reference_samples = reference.total_samples();
         let (int_kernel, float_kernel) = match config.precision {
             FilterPrecision::Int8 => (
-                Some(IntSdtw::new(config.sdtw, reference.concatenated_quantized())),
+                Some(IntSdtw::new(
+                    config.sdtw,
+                    reference.concatenated_quantized(),
+                )),
                 None,
             ),
             FilterPrecision::Float32 => (
@@ -199,11 +200,17 @@ impl SquiggleFilter {
         match self.config.precision {
             FilterPrecision::Int8 => {
                 let query = self.normalizer.normalize_raw_quantized(prefix.samples());
-                self.int_kernel.as_ref().expect("int kernel present").align(&query)
+                self.int_kernel
+                    .as_ref()
+                    .expect("int kernel present")
+                    .align(&query)
             }
             FilterPrecision::Float32 => {
                 let query = self.normalizer.normalize_raw(prefix.samples());
-                self.float_kernel.as_ref().expect("float kernel present").align(&query)
+                self.float_kernel
+                    .as_ref()
+                    .expect("float kernel present")
+                    .align(&query)
             }
         }
     }
@@ -218,11 +225,16 @@ impl SquiggleFilter {
         match self.config.precision {
             FilterPrecision::Int8 => {
                 let quantized: Vec<i8> = query.iter().copied().map(quantize).collect();
-                self.int_kernel.as_ref().expect("int kernel present").align(&quantized)
+                self.int_kernel
+                    .as_ref()
+                    .expect("int kernel present")
+                    .align(&quantized)
             }
-            FilterPrecision::Float32 => {
-                self.float_kernel.as_ref().expect("float kernel present").align(query)
-            }
+            FilterPrecision::Float32 => self
+                .float_kernel
+                .as_ref()
+                .expect("float kernel present")
+                .align(query),
         }
     }
 
@@ -272,7 +284,10 @@ mod tests {
     // the workspace `tests/` directory; these unit tests use a small genome
     // to stay fast.
 
-    fn small_filter(precision: FilterPrecision, threshold: f64) -> (SquiggleFilter, KmerModel, Sequence) {
+    fn small_filter(
+        precision: FilterPrecision,
+        threshold: f64,
+    ) -> (SquiggleFilter, KmerModel, Sequence) {
         let model = KmerModel::synthetic_r94(0);
         let genome = random_genome(11, 3_000);
         let config = FilterConfig {
@@ -290,7 +305,7 @@ mod tests {
         let expected = model.expected_signal(fragment);
         let samples: Vec<u16> = expected
             .iter()
-            .flat_map(|&pa| std::iter::repeat(adc.to_raw(pa)).take(10))
+            .flat_map(|&pa| std::iter::repeat_n(adc.to_raw(pa), 10))
             .collect();
         RawSquiggle::new(samples, 4000.0)
     }
@@ -321,7 +336,10 @@ mod tests {
         let model2 = KmerModel::synthetic_r94(0);
         let calibrated = SquiggleFilter::from_genome(&model2, &genome, config);
         assert_eq!(calibrated.classify(&target).verdict, FilterVerdict::Accept);
-        assert_eq!(calibrated.classify(&background).verdict, FilterVerdict::Reject);
+        assert_eq!(
+            calibrated.classify(&background).verdict,
+            FilterVerdict::Reject
+        );
     }
 
     #[test]
@@ -370,7 +388,10 @@ mod tests {
         let background = noiseless_squiggle(&model, &random_genome(97, 500));
         let cost_rev = filter.score(&squiggle).unwrap().cost;
         let cost_bg = filter.score(&background).unwrap().cost;
-        assert!(cost_rev < cost_bg, "reverse-strand read should match: {cost_rev} vs {cost_bg}");
+        assert!(
+            cost_rev < cost_bg,
+            "reverse-strand read should match: {cost_rev} vs {cost_bg}"
+        );
     }
 
     #[test]

@@ -192,7 +192,7 @@ impl FloatSdtwStream<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{DistanceMetric, MatchBonus};
+    use crate::config::DistanceMetric;
 
     /// Builds a pseudo-random, non-repeating reference signal, and a query
     /// that repeats a slice of it (simulating multiple samples per base).
@@ -209,7 +209,7 @@ mod tests {
     fn repeat_slice(signal: &[f32], start: usize, end: usize, repeats: usize) -> Vec<f32> {
         signal[start..end]
             .iter()
-            .flat_map(|&x| std::iter::repeat(x).take(repeats))
+            .flat_map(|&x| std::iter::repeat_n(x, repeats))
             .collect()
     }
 
@@ -243,11 +243,16 @@ mod tests {
     fn random_query_has_high_cost() {
         let reference = reference_signal();
         let aligner = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
-        let noise: Vec<f32> = (0..60).map(|i| ((i * 7919) % 100) as f32 / 4.0 - 10.0).collect();
+        let noise: Vec<f32> = (0..60)
+            .map(|i| ((i * 7919) % 100) as f32 / 4.0 - 10.0)
+            .collect();
         let matched = repeat_slice(aligner.reference(), 10, 70, 1);
         let cost_noise = aligner.align(&noise).unwrap().cost;
         let cost_match = aligner.align(&matched).unwrap().cost;
-        assert!(cost_noise > cost_match + 100.0, "{cost_noise} vs {cost_match}");
+        assert!(
+            cost_noise > cost_match + 100.0,
+            "{cost_noise} vs {cost_match}"
+        );
     }
 
     #[test]
@@ -269,10 +274,7 @@ mod tests {
         // query sample may span several reference samples cheaply.
         let reference = vec![0.0f32, 1.0, 2.0, 3.0, 4.0, 5.0];
         let query = vec![0.0f32, 5.0];
-        let without = FloatSdtw::new(
-            SdtwConfig::hardware_without_bonus(),
-            reference.clone(),
-        );
+        let without = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference.clone());
         let with = FloatSdtw::new(
             SdtwConfig::hardware_without_bonus().with_reference_deletions(true),
             reference,

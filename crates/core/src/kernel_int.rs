@@ -225,7 +225,7 @@ mod tests {
     fn repeat_slice(signal: &[i8], start: usize, end: usize, repeats: usize) -> Vec<i8> {
         signal[start..end]
             .iter()
-            .flat_map(|&x| std::iter::repeat(x).take(repeats))
+            .flat_map(|&x| std::iter::repeat_n(x, repeats))
             .collect()
     }
 
@@ -254,7 +254,7 @@ mod tests {
     fn mismatching_query_has_positive_cost() {
         let reference = reference_signal();
         let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
-        let noise: Vec<i8> = (0..100).map(|i| (((i * 97) % 255) as i32 - 127) as i8).collect();
+        let noise: Vec<i8> = (0..100).map(|i| (((i * 97) % 255) - 127) as i8).collect();
         let cost = aligner.align(&noise).unwrap().cost;
         assert!(cost > 1_000.0, "cost {cost}");
     }
@@ -273,11 +273,18 @@ mod tests {
             SdtwConfig::hardware_without_bonus(),
             SdtwConfig::vanilla().with_reference_deletions(false),
         ] {
-            let int = IntSdtw::new(config, reference.clone()).align(&query).unwrap();
-            let float = FloatSdtw::new(config, reference_f.clone()).align(&query_f).unwrap();
+            let int = IntSdtw::new(config, reference.clone())
+                .align(&query)
+                .unwrap();
+            let float = FloatSdtw::new(config, reference_f.clone())
+                .align(&query_f)
+                .unwrap();
             assert_eq!(int.cost, float.cost, "config {config:?}");
             assert_eq!(int.end_position, float.end_position, "config {config:?}");
-            assert_eq!(int.start_position, float.start_position, "config {config:?}");
+            assert_eq!(
+                int.start_position, float.start_position,
+                "config {config:?}"
+            );
         }
     }
 
@@ -308,14 +315,15 @@ mod tests {
     fn match_bonus_separates_target_from_noise_further() {
         let reference = reference_signal();
         let target_query = repeat_slice(&reference, 50, 110, 9);
-        let noise: Vec<i8> = (0..540).map(|i| (((i * 41) % 255) as i32 - 127) as i8).collect();
+        let noise: Vec<i8> = (0..540).map(|i| (((i * 41) % 255) - 127) as i8).collect();
 
         let without = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference.clone());
         let with = IntSdtw::new(SdtwConfig::hardware(), reference);
 
         let margin_without =
             without.align(&noise).unwrap().cost - without.align(&target_query).unwrap().cost;
-        let margin_with = with.align(&noise).unwrap().cost - with.align(&target_query).unwrap().cost;
+        let margin_with =
+            with.align(&noise).unwrap().cost - with.align(&target_query).unwrap().cost;
         assert!(
             margin_with > margin_without,
             "bonus should widen the margin: {margin_with} vs {margin_without}"

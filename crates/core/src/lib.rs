@@ -16,6 +16,8 @@
 //!   prefix, align it, compare against a threshold (paper §4.5).
 //! * [`multistage`] — multi-stage filtering with carried-over DP state
 //!   (paper §4.6).
+//! * [`batch`] — the [`BatchClassifier`]: shared-queue multi-threaded
+//!   classification of whole read batches with merged confusion matrices.
 //! * [`threshold`] — threshold calibration from labelled costs.
 //!
 //! # Example
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod config;
 pub mod filter;
 pub mod kernel_float;
@@ -48,6 +51,7 @@ pub mod multistage;
 pub mod result;
 pub mod threshold;
 
+pub use batch::{BatchClassifier, BatchConfig, BatchReport};
 pub use config::{DistanceMetric, MatchBonus, SdtwConfig};
 pub use filter::{Classification, FilterConfig, FilterPrecision, FilterVerdict, SquiggleFilter};
 pub use kernel_float::{FloatSdtw, FloatSdtwStream};

@@ -19,8 +19,7 @@ use sf_squiggle::RawSquiggle;
 
 /// One filtering stage: examine `prefix_samples` of the read and reject it if
 /// the alignment cost exceeds `threshold`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Stage {
     /// Cumulative number of samples examined by the end of this stage.
     pub prefix_samples: usize,
@@ -29,8 +28,7 @@ pub struct Stage {
 }
 
 /// Outcome of a multi-stage classification.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StagedClassification {
     /// Final verdict.
     pub verdict: FilterVerdict,
@@ -45,8 +43,7 @@ pub struct StagedClassification {
 }
 
 /// Configuration of the multi-stage filter.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MultiStageConfig {
     /// The sDTW kernel configuration (shared by all stages).
     pub sdtw: SdtwConfig,
@@ -63,8 +60,14 @@ impl MultiStageConfig {
         MultiStageConfig {
             sdtw: SdtwConfig::hardware(),
             stages: vec![
-                Stage { prefix_samples: 1_000, threshold: early_threshold },
-                Stage { prefix_samples: 5_000, threshold: late_threshold },
+                Stage {
+                    prefix_samples: 1_000,
+                    threshold: early_threshold,
+                },
+                Stage {
+                    prefix_samples: 5_000,
+                    threshold: late_threshold,
+                },
             ],
             normalizer: NormalizerConfig::default(),
         }
@@ -148,7 +151,12 @@ impl MultiStageFilter {
                 verdict: FilterVerdict::Accept,
                 deciding_stage: 0,
                 samples_used: 0,
-                result: SdtwResult { cost: 0.0, start_position: 0, end_position: 0, query_samples: 0 },
+                result: SdtwResult {
+                    cost: 0.0,
+                    start_position: 0,
+                    end_position: 0,
+                    query_samples: 0,
+                },
             };
         }
         // Normalize once over the longest prefix we may need; the hardware
@@ -202,7 +210,7 @@ mod tests {
         let samples: Vec<u16> = model
             .expected_signal(fragment)
             .iter()
-            .flat_map(|&pa| std::iter::repeat(adc.to_raw(pa)).take(10))
+            .flat_map(|&pa| std::iter::repeat_n(adc.to_raw(pa), 10))
             .collect();
         RawSquiggle::new(samples, 4_000.0)
     }
@@ -214,21 +222,53 @@ mod tests {
         (model, genome, reference)
     }
 
+    /// Midpoint between a target and a background read's costs when both are
+    /// scored by a single-stage multistage filter at `prefix_samples` — i.e.
+    /// calibrated in the exact cost domain that stage will see.
+    fn midpoint_threshold(
+        reference: &ReferenceSquiggle,
+        target: &RawSquiggle,
+        background: &RawSquiggle,
+        prefix_samples: usize,
+    ) -> f64 {
+        let probe = MultiStageFilter::new(
+            reference,
+            MultiStageConfig {
+                sdtw: SdtwConfig::hardware(),
+                stages: vec![Stage {
+                    prefix_samples,
+                    threshold: f64::MAX,
+                }],
+                normalizer: NormalizerConfig::default(),
+            },
+        );
+        let t_cost = probe.classify(target).result.cost;
+        let b_cost = probe.classify(background).result.cost;
+        assert!(t_cost < b_cost, "target {t_cost} vs background {b_cost}");
+        (t_cost + b_cost) / 2.0
+    }
+
     #[test]
     fn obvious_background_is_rejected_at_stage_zero() {
         let (model, genome, reference) = setup();
-        // Calibrate rough thresholds from one target and one background read.
         let target = noiseless_squiggle(&model, &genome.subsequence(0, 1_000));
-        let background = noiseless_squiggle(&model, &random_genome(77, 1_000));
-        let single = crate::filter::SquiggleFilter::new(
-            &reference,
-            crate::filter::FilterConfig::hardware(f64::MAX).with_prefix_samples(1_000),
+        // An obviously-non-target read: a square wave swinging across the ADC
+        // range matches nothing in any reference.
+        let background = RawSquiggle::new(
+            (0..10_000)
+                .map(|i| if i % 2 == 0 { 120 } else { 880 })
+                .collect(),
+            4_000.0,
         );
-        let t_cost = single.score(&target).unwrap().cost;
-        let b_cost = single.score(&background).unwrap().cost;
-        let mid = (t_cost + b_cost) / 2.0;
+        // Stage 0 gets a threshold calibrated at its own 1000-sample prefix;
+        // the final stage is permissive here because absolute int8 costs move
+        // with the 2000-sample normalization window (threshold *accuracy*
+        // across stages is covered by the end-to-end integration test) — this
+        // test pins the staging mechanics themselves.
+        let early = midpoint_threshold(&reference, &target, &background, 1_000);
+        let filter =
+            MultiStageFilter::new(&reference, MultiStageConfig::two_stage(early, f64::MAX));
 
-        let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(mid, mid));
         let rejected = filter.classify(&background);
         assert_eq!(rejected.verdict, FilterVerdict::Reject);
         assert_eq!(rejected.deciding_stage, 0);
@@ -236,12 +276,16 @@ mod tests {
 
         let accepted = filter.classify(&target);
         assert_eq!(accepted.verdict, FilterVerdict::Accept);
-        assert!(accepted.samples_used > 1_000, "survivors are examined further");
+        assert_eq!(accepted.deciding_stage, 1);
+        assert!(
+            accepted.samples_used > 1_000,
+            "survivors are examined further"
+        );
     }
 
     #[test]
     fn borderline_reads_survive_to_a_later_stage() {
-        let (model, genome, reference) = setup();
+        let (model, _genome, reference) = setup();
         let background = noiseless_squiggle(&model, &random_genome(78, 1_000));
         let single = crate::filter::SquiggleFilter::new(
             &reference,
@@ -262,7 +306,8 @@ mod tests {
     #[test]
     fn short_read_decides_on_available_samples() {
         let (_, _, reference) = setup();
-        let filter = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(f64::MAX, f64::MAX));
+        let filter =
+            MultiStageFilter::new(&reference, MultiStageConfig::two_stage(f64::MAX, f64::MAX));
         // Only 1500 samples available, less than the stage-1 prefix of 5000.
         let read = RawSquiggle::new(vec![480; 1_500], 4_000.0);
         let outcome = filter.classify(&read);
@@ -285,7 +330,8 @@ mod tests {
         // identical to a single-stage filter examining the same prefix.
         let (model, genome, reference) = setup();
         let target = noiseless_squiggle(&model, &genome.subsequence(500, 1_500));
-        let staged = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(f64::MAX, f64::MAX));
+        let staged =
+            MultiStageFilter::new(&reference, MultiStageConfig::two_stage(f64::MAX, f64::MAX));
         let outcome = staged.classify(&target);
 
         let single = crate::filter::SquiggleFilter::new(
@@ -303,8 +349,14 @@ mod tests {
         let (_, _, reference) = setup();
         let config = MultiStageConfig {
             stages: vec![
-                Stage { prefix_samples: 2_000, threshold: 1.0 },
-                Stage { prefix_samples: 1_000, threshold: 1.0 },
+                Stage {
+                    prefix_samples: 2_000,
+                    threshold: 1.0,
+                },
+                Stage {
+                    prefix_samples: 1_000,
+                    threshold: 1.0,
+                },
             ],
             ..MultiStageConfig::two_stage(1.0, 1.0)
         };

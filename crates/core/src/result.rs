@@ -5,8 +5,7 @@
 /// `cost` is the subsequence-DTW alignment cost of the *best* alignment of
 /// the whole query to any contiguous region of the reference;
 /// `start_position..=end_position` is that region (in reference samples).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SdtwResult {
     /// Total alignment cost (lower is better; may be negative when the match
     /// bonus is enabled).

@@ -9,8 +9,7 @@
 //! sequencing-runtime-optimal threshold (Figure 17b/c) can be picked.
 
 /// One candidate operating point of the filter.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct OperatingPoint {
     /// The cost threshold (costs **at or below** the threshold are accepted).
     pub threshold: f64,
@@ -23,8 +22,7 @@ pub struct OperatingPoint {
 }
 
 /// Result of a calibration sweep.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ThresholdSweep {
     /// All evaluated operating points, in increasing threshold order.
     pub points: Vec<OperatingPoint>,
@@ -34,13 +32,15 @@ impl ThresholdSweep {
     /// The operating point with the highest F1 score (ties broken towards the
     /// lower threshold, i.e. fewer false positives).
     pub fn best_f1(&self) -> Option<OperatingPoint> {
-        self.points
-            .iter()
-            .copied()
-            .max_by(|a, b| match a.f1.partial_cmp(&b.f1).expect("finite f1") {
-                std::cmp::Ordering::Equal => b.threshold.partial_cmp(&a.threshold).expect("finite threshold"),
+        self.points.iter().copied().max_by(|a, b| {
+            match a.f1.partial_cmp(&b.f1).expect("finite f1") {
+                std::cmp::Ordering::Equal => b
+                    .threshold
+                    .partial_cmp(&a.threshold)
+                    .expect("finite threshold"),
                 other => other,
-            })
+            }
+        })
     }
 
     /// The lowest threshold whose true-positive rate is at least
@@ -73,7 +73,8 @@ impl ThresholdSweep {
 /// assert_eq!(best.f1, 1.0);
 /// ```
 pub fn calibrate_threshold(target_costs: &[f64], background_costs: &[f64]) -> ThresholdSweep {
-    let mut candidates: Vec<f64> = Vec::with_capacity(target_costs.len() + background_costs.len() + 2);
+    let mut candidates: Vec<f64> =
+        Vec::with_capacity(target_costs.len() + background_costs.len() + 2);
     candidates.extend_from_slice(target_costs);
     candidates.extend_from_slice(background_costs);
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
@@ -105,8 +106,16 @@ pub fn evaluate_threshold(
     let fn_ = target_costs.len() as f64 - tp;
     let fp = background_costs.iter().filter(|&&c| c <= threshold).count() as f64;
     let tn = background_costs.len() as f64 - fp;
-    let tpr = if target_costs.is_empty() { 0.0 } else { tp / target_costs.len() as f64 };
-    let fpr = if background_costs.is_empty() { 0.0 } else { fp / background_costs.len() as f64 };
+    let tpr = if target_costs.is_empty() {
+        0.0
+    } else {
+        tp / target_costs.len() as f64
+    };
+    let fpr = if background_costs.is_empty() {
+        0.0
+    } else {
+        fp / background_costs.len() as f64
+    };
     let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
     let recall = tpr;
     let f1 = if precision + recall > 0.0 {

@@ -23,8 +23,9 @@ use std::fmt;
 /// assert_eq!(b.to_char(), 'G');
 /// # Ok::<(), sf_genome::ParseBaseError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 #[repr(u8)]
 pub enum Base {
     /// Adenine.
@@ -191,7 +192,10 @@ mod tests {
     fn char_round_trip() {
         for base in Base::ALL {
             assert_eq!(Base::try_from(base.to_char()).unwrap(), base);
-            assert_eq!(Base::try_from(base.to_char().to_ascii_lowercase()).unwrap(), base);
+            assert_eq!(
+                Base::try_from(base.to_char().to_ascii_lowercase()).unwrap(),
+                base
+            );
         }
     }
 

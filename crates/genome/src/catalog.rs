@@ -16,8 +16,7 @@ pub const MAX_SUPPORTED_SS_LENGTH: usize = 100_000;
 pub const MAX_SUPPORTED_DS_LENGTH: usize = 50_000;
 
 /// Genome chemistry of a catalogued virus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum GenomeKind {
     /// Single-stranded RNA genome.
     SingleStrandedRna,
@@ -32,13 +31,15 @@ pub enum GenomeKind {
 impl GenomeKind {
     /// Returns `true` if the genome is double stranded.
     pub fn is_double_stranded(self) -> bool {
-        matches!(self, GenomeKind::DoubleStrandedDna | GenomeKind::DoubleStrandedRna)
+        matches!(
+            self,
+            GenomeKind::DoubleStrandedDna | GenomeKind::DoubleStrandedRna
+        )
     }
 }
 
 /// One entry of the epidemic virus catalog (Figure 10).
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct VirusInfo {
     /// Common virus name.
     pub name: &'static str,
@@ -56,11 +57,10 @@ impl VirusInfo {
     /// genome is double stranded (the filter scans forward and reverse
     /// strands, ~2R cycles per classification).
     pub fn reference_samples(&self) -> usize {
-        if self.kind.is_double_stranded() {
-            self.genome_length * 2
-        } else {
-            self.genome_length * 2 // forward + reverse-complement strand of cDNA
-        }
+        // Double-stranded genomes scan both strands; single-stranded (RNA)
+        // genomes scan the forward and reverse-complement strand of the cDNA.
+        // Either way the accelerator stores 2R samples.
+        self.genome_length * 2
     }
 
     /// Whether this virus fits within the accelerator's design limits.
@@ -81,28 +81,138 @@ impl VirusInfo {
 pub fn epidemic_viruses() -> Vec<VirusInfo> {
     use GenomeKind::*;
     vec![
-        VirusInfo { name: "Poliovirus", genome_length: 7_440, kind: SingleStrandedRna, gc_content: 0.46 },
-        VirusInfo { name: "Norovirus", genome_length: 7_654, kind: SingleStrandedRna, gc_content: 0.48 },
-        VirusInfo { name: "HIV-1", genome_length: 9_181, kind: SingleStrandedRna, gc_content: 0.42 },
-        VirusInfo { name: "Hepatitis C", genome_length: 9_646, kind: SingleStrandedRna, gc_content: 0.58 },
-        VirusInfo { name: "Rubella", genome_length: 9_762, kind: SingleStrandedRna, gc_content: 0.70 },
-        VirusInfo { name: "Dengue", genome_length: 10_735, kind: SingleStrandedRna, gc_content: 0.47 },
-        VirusInfo { name: "Zika", genome_length: 10_794, kind: SingleStrandedRna, gc_content: 0.51 },
-        VirusInfo { name: "Yellow fever", genome_length: 10_862, kind: SingleStrandedRna, gc_content: 0.49 },
-        VirusInfo { name: "West Nile", genome_length: 11_029, kind: SingleStrandedRna, gc_content: 0.51 },
-        VirusInfo { name: "Chikungunya", genome_length: 11_826, kind: SingleStrandedRna, gc_content: 0.50 },
-        VirusInfo { name: "Rabies", genome_length: 11_932, kind: SingleStrandedRna, gc_content: 0.45 },
-        VirusInfo { name: "Influenza A", genome_length: 13_588, kind: SingleStrandedRna, gc_content: 0.43 },
-        VirusInfo { name: "Mumps", genome_length: 15_384, kind: SingleStrandedRna, gc_content: 0.43 },
-        VirusInfo { name: "Measles", genome_length: 15_894, kind: SingleStrandedRna, gc_content: 0.47 },
-        VirusInfo { name: "Ebola", genome_length: 18_959, kind: SingleStrandedRna, gc_content: 0.41 },
-        VirusInfo { name: "SARS-CoV", genome_length: 29_751, kind: SingleStrandedRna, gc_content: 0.41 },
-        VirusInfo { name: "SARS-CoV-2", genome_length: SARS_COV_2_LENGTH, kind: SingleStrandedRna, gc_content: 0.38 },
-        VirusInfo { name: "MERS-CoV", genome_length: 30_119, kind: SingleStrandedRna, gc_content: 0.41 },
-        VirusInfo { name: "Lambda phage", genome_length: LAMBDA_PHAGE_LENGTH, kind: DoubleStrandedDna, gc_content: 0.50 },
-        VirusInfo { name: "Hepatitis B", genome_length: 3_215, kind: DoubleStrandedDna, gc_content: 0.48 },
-        VirusInfo { name: "Herpes simplex 1", genome_length: 152_222, kind: DoubleStrandedDna, gc_content: 0.68 },
-        VirusInfo { name: "Smallpox (variola)", genome_length: 185_578, kind: DoubleStrandedDna, gc_content: 0.33 },
+        VirusInfo {
+            name: "Poliovirus",
+            genome_length: 7_440,
+            kind: SingleStrandedRna,
+            gc_content: 0.46,
+        },
+        VirusInfo {
+            name: "Norovirus",
+            genome_length: 7_654,
+            kind: SingleStrandedRna,
+            gc_content: 0.48,
+        },
+        VirusInfo {
+            name: "HIV-1",
+            genome_length: 9_181,
+            kind: SingleStrandedRna,
+            gc_content: 0.42,
+        },
+        VirusInfo {
+            name: "Hepatitis C",
+            genome_length: 9_646,
+            kind: SingleStrandedRna,
+            gc_content: 0.58,
+        },
+        VirusInfo {
+            name: "Rubella",
+            genome_length: 9_762,
+            kind: SingleStrandedRna,
+            gc_content: 0.70,
+        },
+        VirusInfo {
+            name: "Dengue",
+            genome_length: 10_735,
+            kind: SingleStrandedRna,
+            gc_content: 0.47,
+        },
+        VirusInfo {
+            name: "Zika",
+            genome_length: 10_794,
+            kind: SingleStrandedRna,
+            gc_content: 0.51,
+        },
+        VirusInfo {
+            name: "Yellow fever",
+            genome_length: 10_862,
+            kind: SingleStrandedRna,
+            gc_content: 0.49,
+        },
+        VirusInfo {
+            name: "West Nile",
+            genome_length: 11_029,
+            kind: SingleStrandedRna,
+            gc_content: 0.51,
+        },
+        VirusInfo {
+            name: "Chikungunya",
+            genome_length: 11_826,
+            kind: SingleStrandedRna,
+            gc_content: 0.50,
+        },
+        VirusInfo {
+            name: "Rabies",
+            genome_length: 11_932,
+            kind: SingleStrandedRna,
+            gc_content: 0.45,
+        },
+        VirusInfo {
+            name: "Influenza A",
+            genome_length: 13_588,
+            kind: SingleStrandedRna,
+            gc_content: 0.43,
+        },
+        VirusInfo {
+            name: "Mumps",
+            genome_length: 15_384,
+            kind: SingleStrandedRna,
+            gc_content: 0.43,
+        },
+        VirusInfo {
+            name: "Measles",
+            genome_length: 15_894,
+            kind: SingleStrandedRna,
+            gc_content: 0.47,
+        },
+        VirusInfo {
+            name: "Ebola",
+            genome_length: 18_959,
+            kind: SingleStrandedRna,
+            gc_content: 0.41,
+        },
+        VirusInfo {
+            name: "SARS-CoV",
+            genome_length: 29_751,
+            kind: SingleStrandedRna,
+            gc_content: 0.41,
+        },
+        VirusInfo {
+            name: "SARS-CoV-2",
+            genome_length: SARS_COV_2_LENGTH,
+            kind: SingleStrandedRna,
+            gc_content: 0.38,
+        },
+        VirusInfo {
+            name: "MERS-CoV",
+            genome_length: 30_119,
+            kind: SingleStrandedRna,
+            gc_content: 0.41,
+        },
+        VirusInfo {
+            name: "Lambda phage",
+            genome_length: LAMBDA_PHAGE_LENGTH,
+            kind: DoubleStrandedDna,
+            gc_content: 0.50,
+        },
+        VirusInfo {
+            name: "Hepatitis B",
+            genome_length: 3_215,
+            kind: DoubleStrandedDna,
+            gc_content: 0.48,
+        },
+        VirusInfo {
+            name: "Herpes simplex 1",
+            genome_length: 152_222,
+            kind: DoubleStrandedDna,
+            gc_content: 0.68,
+        },
+        VirusInfo {
+            name: "Smallpox (variola)",
+            genome_length: 185_578,
+            kind: DoubleStrandedDna,
+            gc_content: 0.33,
+        },
     ]
 }
 

@@ -10,8 +10,7 @@ use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// A single FASTA record: a header line and its sequence.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FastaRecord {
     /// Identifier: the first whitespace-delimited token after `>`.
     pub id: String,
@@ -38,9 +37,17 @@ pub enum FastaError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// Sequence data appeared before any `>` header.
-    MissingHeader { line: usize },
+    MissingHeader {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
     /// A sequence line contained an invalid character.
-    InvalidSequence { line: usize, source: ParseSequenceError },
+    InvalidSequence {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The parse failure for that line.
+        source: ParseSequenceError,
+    },
 }
 
 impl fmt::Display for FastaError {
@@ -118,9 +125,13 @@ pub fn read<R: BufRead>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
             let record = records
                 .last_mut()
                 .ok_or(FastaError::MissingHeader { line: line_no })?;
-            let parsed: Sequence = trimmed
-                .parse()
-                .map_err(|source| FastaError::InvalidSequence { line: line_no, source })?;
+            let parsed: Sequence =
+                trimmed
+                    .parse()
+                    .map_err(|source| FastaError::InvalidSequence {
+                        line: line_no,
+                        source,
+                    })?;
             record.sequence.extend(parsed.iter());
         }
     }

@@ -14,15 +14,27 @@ use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
 /// A single mutation applied to a reference sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Mutation {
     /// Replace the base at `position` with `to`.
-    Substitution { position: usize, to: Base },
+    Substitution {
+        /// 0-based position in the reference.
+        position: usize,
+        /// Replacement base.
+        to: Base,
+    },
     /// Insert `base` *before* `position`.
-    Insertion { position: usize, base: Base },
+    Insertion {
+        /// 0-based position the new base is inserted before.
+        position: usize,
+        /// The inserted base.
+        base: Base,
+    },
     /// Delete the base at `position`.
-    Deletion { position: usize },
+    Deletion {
+        /// 0-based position in the reference.
+        position: usize,
+    },
 }
 
 impl Mutation {
@@ -82,11 +94,7 @@ pub fn apply(reference: &Sequence, mutations: &[Mutation]) -> Sequence {
             }
         }
     }
-    bases
-        .into_iter()
-        .flatten()
-        .flatten()
-        .collect()
+    bases.into_iter().flatten().flatten().collect()
 }
 
 /// Random mutation generator with independent SNP/insertion/deletion counts.
@@ -191,16 +199,34 @@ mod tests {
     #[test]
     fn apply_substitution() {
         let reference: Sequence = "AAAA".parse().unwrap();
-        let out = apply(&reference, &[Mutation::Substitution { position: 2, to: Base::G }]);
+        let out = apply(
+            &reference,
+            &[Mutation::Substitution {
+                position: 2,
+                to: Base::G,
+            }],
+        );
         assert_eq!(out.to_string(), "AAGA");
     }
 
     #[test]
     fn apply_insertion_and_deletion() {
         let reference: Sequence = "ACGT".parse().unwrap();
-        let out = apply(&reference, &[Mutation::Insertion { position: 0, base: Base::T }]);
+        let out = apply(
+            &reference,
+            &[Mutation::Insertion {
+                position: 0,
+                base: Base::T,
+            }],
+        );
         assert_eq!(out.to_string(), "TACGT");
-        let out = apply(&reference, &[Mutation::Insertion { position: 4, base: Base::T }]);
+        let out = apply(
+            &reference,
+            &[Mutation::Insertion {
+                position: 4,
+                base: Base::T,
+            }],
+        );
         assert_eq!(out.to_string(), "ACGTT");
         let out = apply(&reference, &[Mutation::Deletion { position: 0 }]);
         assert_eq!(out.to_string(), "CGT");

@@ -172,8 +172,16 @@ mod tests {
     fn gc_content_tracks_target() {
         let low = GenomeGenerator::new(5).gc_content(0.2).generate(20_000);
         let high = GenomeGenerator::new(5).gc_content(0.8).generate(20_000);
-        assert!((low.gc_content() - 0.2).abs() < 0.03, "got {}", low.gc_content());
-        assert!((high.gc_content() - 0.8).abs() < 0.03, "got {}", high.gc_content());
+        assert!(
+            (low.gc_content() - 0.2).abs() < 0.03,
+            "got {}",
+            low.gc_content()
+        );
+        assert!(
+            (high.gc_content() - 0.8).abs() < 0.03,
+            "got {}",
+            high.gc_content()
+        );
     }
 
     #[test]
@@ -184,8 +192,14 @@ mod tests {
 
     #[test]
     fn named_genomes_have_catalog_lengths() {
-        assert_eq!(covid_like_genome(1).len(), crate::catalog::SARS_COV_2_LENGTH);
-        assert_eq!(lambda_like_genome(1).len(), crate::catalog::LAMBDA_PHAGE_LENGTH);
+        assert_eq!(
+            covid_like_genome(1).len(),
+            crate::catalog::SARS_COV_2_LENGTH
+        );
+        assert_eq!(
+            lambda_like_genome(1).len(),
+            crate::catalog::LAMBDA_PHAGE_LENGTH
+        );
     }
 
     #[test]
@@ -196,7 +210,9 @@ mod tests {
             .repeat_probability(0.02)
             .repeat_shape(5, 10)
             .generate(20_000);
-        let without = GenomeGenerator::new(9).repeat_probability(0.0).generate(20_000);
+        let without = GenomeGenerator::new(9)
+            .repeat_probability(0.0)
+            .generate(20_000);
         let distinct = |s: &Sequence| {
             let mut set = std::collections::HashSet::new();
             for rank in s.kmer_ranks(8) {

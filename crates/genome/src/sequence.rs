@@ -21,8 +21,7 @@ use std::ops::Index;
 /// assert_eq!(seq.reverse_complement().to_string(), "ACGTACGT");
 /// # Ok::<(), sf_genome::ParseSequenceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
 pub struct Sequence {
     bases: Vec<Base>,
 }
@@ -192,7 +191,8 @@ impl std::str::FromStr for Sequence {
             if ch.is_ascii_whitespace() {
                 continue;
             }
-            let base = Base::try_from(ch).map_err(|source| ParseSequenceError { position, source })?;
+            let base =
+                Base::try_from(ch).map_err(|source| ParseSequenceError { position, source })?;
             bases.push(base);
         }
         Ok(Sequence { bases })
@@ -242,8 +242,7 @@ impl<'a> IntoIterator for &'a Sequence {
 /// assert_eq!(packed.len(), 9);
 /// assert_eq!(packed.to_sequence(), seq);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
 pub struct PackedSequence {
     /// Packed 2-bit codes, first base in the low bits of byte 0.
     data: Vec<u8>,
@@ -290,7 +289,10 @@ impl PackedSequence {
         if bit_offset == 0 {
             self.data.push(base.code());
         } else {
-            let last = self.data.last_mut().expect("non-empty data when offset > 0");
+            let last = self
+                .data
+                .last_mut()
+                .expect("non-empty data when offset > 0");
             *last |= base.code() << bit_offset;
         }
         self.len += 1;
@@ -432,7 +434,7 @@ mod tests {
 
     #[test]
     fn packed_uses_quarter_of_space() {
-        let seq: Sequence = std::iter::repeat(Base::G).take(1000).collect();
+        let seq: Sequence = std::iter::repeat_n(Base::G, 1000).collect();
         let packed = PackedSequence::from_sequence(&seq);
         assert_eq!(packed.packed_bytes(), 250);
     }

@@ -10,8 +10,7 @@ use crate::mutate::{Mutation, Mutator};
 use crate::sequence::Sequence;
 
 /// A simulated viral strain derived from a reference genome.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Strain {
     /// Clade label (e.g. `"19A"`).
     pub clade: String,
@@ -24,8 +23,7 @@ pub struct Strain {
 }
 
 /// Provenance metadata for a strain (lab of origin and country).
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct StrainOrigin {
     /// Identifier standing in for the GISAID accession.
     pub accession: String,
@@ -54,11 +52,51 @@ impl Strain {
 /// The clade set reproduced in Table 2: clade label, SNP count and provenance.
 pub fn table2_clade_definitions() -> Vec<(&'static str, usize, StrainOrigin)> {
     vec![
-        ("19A", 23, StrainOrigin { accession: "593737".into(), lab: "SE Area Lab Services".into(), country: "Australia".into() }),
-        ("19B", 18, StrainOrigin { accession: "614393".into(), lab: "Bouake CHU Lab".into(), country: "Ivory Coast".into() }),
-        ("20A", 22, StrainOrigin { accession: "644615".into(), lab: "Dept. Clinical Microbiology".into(), country: "Belgium".into() }),
-        ("20B", 17, StrainOrigin { accession: "602902".into(), lab: "NHLS-IALCH".into(), country: "South Africa".into() }),
-        ("20C", 17, StrainOrigin { accession: "582807".into(), lab: "Public Health Agency".into(), country: "Sweden".into() }),
+        (
+            "19A",
+            23,
+            StrainOrigin {
+                accession: "593737".into(),
+                lab: "SE Area Lab Services".into(),
+                country: "Australia".into(),
+            },
+        ),
+        (
+            "19B",
+            18,
+            StrainOrigin {
+                accession: "614393".into(),
+                lab: "Bouake CHU Lab".into(),
+                country: "Ivory Coast".into(),
+            },
+        ),
+        (
+            "20A",
+            22,
+            StrainOrigin {
+                accession: "644615".into(),
+                lab: "Dept. Clinical Microbiology".into(),
+                country: "Belgium".into(),
+            },
+        ),
+        (
+            "20B",
+            17,
+            StrainOrigin {
+                accession: "602902".into(),
+                lab: "NHLS-IALCH".into(),
+                country: "South Africa".into(),
+            },
+        ),
+        (
+            "20C",
+            17,
+            StrainOrigin {
+                accession: "582807".into(),
+                lab: "Public Health Agency".into(),
+                country: "Sweden".into(),
+            },
+        ),
     ]
 }
 
@@ -85,7 +123,13 @@ pub fn simulate_table2_strains(reference: &Sequence, seed: u64) -> Vec<Strain> {
         .into_iter()
         .enumerate()
         .map(|(i, (clade, snps, origin))| {
-            simulate_strain(reference, clade, snps, origin, seed.wrapping_add(i as u64 + 1))
+            simulate_strain(
+                reference,
+                clade,
+                snps,
+                origin,
+                seed.wrapping_add(i as u64 + 1),
+            )
         })
         .collect()
 }
@@ -131,7 +175,12 @@ mod tests {
             ]
         );
         for s in &strains {
-            assert_eq!(s.indel_count(), 0, "clade {} should have no indels", s.clade);
+            assert_eq!(
+                s.indel_count(),
+                0,
+                "clade {} should have no indels",
+                s.clade
+            );
             assert_eq!(s.genome.len(), reference.len());
             assert_eq!(s.genome.mismatches(&reference), s.substitution_count());
         }

@@ -11,8 +11,7 @@ use crate::pe::{PE_AREA_MM2, PE_POWER_W};
 use crate::tile::PES_PER_TILE;
 
 /// Area and power of one design element.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ElementBudget {
     /// Silicon area in mm².
     pub area_mm2: f64,
@@ -21,8 +20,7 @@ pub struct ElementBudget {
 }
 
 /// Per-element synthesis results (Table 4, 28 nm TSMC HPC @ 2.5 GHz).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AsicModel {
     /// The streaming normalizer.
     pub normalizer: ElementBudget,
@@ -44,11 +42,26 @@ pub struct AsicModel {
 impl Default for AsicModel {
     fn default() -> Self {
         AsicModel {
-            normalizer: ElementBudget { area_mm2: NORMALIZER_AREA_MM2, power_w: NORMALIZER_POWER_W },
-            processing_element: ElementBudget { area_mm2: PE_AREA_MM2, power_w: PE_POWER_W },
-            query_buffer: ElementBudget { area_mm2: 0.023, power_w: 0.009 },
-            reference_buffer: ElementBudget { area_mm2: 0.185, power_w: 0.028 },
-            tile_total: ElementBudget { area_mm2: 2.423, power_w: 2.780 },
+            normalizer: ElementBudget {
+                area_mm2: NORMALIZER_AREA_MM2,
+                power_w: NORMALIZER_POWER_W,
+            },
+            processing_element: ElementBudget {
+                area_mm2: PE_AREA_MM2,
+                power_w: PE_POWER_W,
+            },
+            query_buffer: ElementBudget {
+                area_mm2: 0.023,
+                power_w: 0.009,
+            },
+            reference_buffer: ElementBudget {
+                area_mm2: 0.185,
+                power_w: 0.028,
+            },
+            tile_total: ElementBudget {
+                area_mm2: 2.423,
+                power_w: 2.780,
+            },
             pes_per_tile: PES_PER_TILE,
         }
     }
@@ -107,11 +120,27 @@ impl AsicModel {
         let one = self.asic(1);
         let five = self.asic(5);
         vec![
-            ("Normalizer", self.normalizer.area_mm2, self.normalizer.power_w),
-            ("Processing Element", self.processing_element.area_mm2, self.processing_element.power_w),
+            (
+                "Normalizer",
+                self.normalizer.area_mm2,
+                self.normalizer.power_w,
+            ),
+            (
+                "Processing Element",
+                self.processing_element.area_mm2,
+                self.processing_element.power_w,
+            ),
             ("Tile (1x2000 PEs)", tile.area_mm2, tile.power_w),
-            ("Query buffer", self.query_buffer.area_mm2, self.query_buffer.power_w),
-            ("Reference buffer", self.reference_buffer.area_mm2, self.reference_buffer.power_w),
+            (
+                "Query buffer",
+                self.query_buffer.area_mm2,
+                self.query_buffer.power_w,
+            ),
+            (
+                "Reference buffer",
+                self.reference_buffer.area_mm2,
+                self.reference_buffer.power_w,
+            ),
             ("Complete 1-Tile ASIC", one.area_mm2, one.power_w),
             ("Complete 5-Tile ASIC", five.area_mm2, five.power_w),
         ]
@@ -126,8 +155,16 @@ mod tests {
     fn tile_matches_table4() {
         let model = AsicModel::default();
         let tile = model.tile();
-        assert!((tile.area_mm2 - 2.423).abs() < 0.01, "tile area {}", tile.area_mm2);
-        assert!((tile.power_w - 2.780).abs() < 0.01, "tile power {}", tile.power_w);
+        assert!(
+            (tile.area_mm2 - 2.423).abs() < 0.01,
+            "tile area {}",
+            tile.area_mm2
+        );
+        assert!(
+            (tile.power_w - 2.780).abs() < 0.01,
+            "tile power {}",
+            tile.power_w
+        );
         // The naive 2000 × PE roll-up is close to, but above, the tile total.
         let upper = model.pe_array_upper_bound();
         assert!(upper.area_mm2 >= tile.area_mm2 * 0.95);
@@ -137,16 +174,32 @@ mod tests {
     fn one_tile_asic_matches_table4() {
         let model = AsicModel::default();
         let asic = model.asic(1);
-        assert!((asic.area_mm2 - 2.65).abs() < 0.05, "1-tile area {}", asic.area_mm2);
-        assert!((asic.power_w - 2.86).abs() < 0.05, "1-tile power {}", asic.power_w);
+        assert!(
+            (asic.area_mm2 - 2.65).abs() < 0.05,
+            "1-tile area {}",
+            asic.area_mm2
+        );
+        assert!(
+            (asic.power_w - 2.86).abs() < 0.05,
+            "1-tile power {}",
+            asic.power_w
+        );
     }
 
     #[test]
     fn five_tile_asic_matches_table4() {
         let model = AsicModel::default();
         let asic = model.asic(5);
-        assert!((asic.area_mm2 - 13.25).abs() < 0.2, "5-tile area {}", asic.area_mm2);
-        assert!((asic.power_w - 14.31).abs() < 0.2, "5-tile power {}", asic.power_w);
+        assert!(
+            (asic.area_mm2 - 13.25).abs() < 0.2,
+            "5-tile area {}",
+            asic.area_mm2
+        );
+        assert!(
+            (asic.power_w - 14.31).abs() < 0.2,
+            "5-tile power {}",
+            asic.power_w
+        );
     }
 
     #[test]

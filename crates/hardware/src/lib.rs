@@ -37,6 +37,8 @@ pub mod tile;
 pub use asic::{AsicModel, ElementBudget};
 pub use normalizer_hw::HardwareNormalizer;
 pub use pe::{PeOutput, ProcessingElement};
-pub use perf::{AcceleratorModel, AcceleratorPerf, MINION_MAX_BASES_PER_S, MINION_MAX_SAMPLES_PER_S};
+pub use perf::{
+    AcceleratorModel, AcceleratorPerf, MINION_MAX_BASES_PER_S, MINION_MAX_SAMPLES_PER_S,
+};
 pub use systolic::{SystolicArray, SystolicRun};
 pub use tile::{Tile, TileClassification, TileConfig, PES_PER_TILE};

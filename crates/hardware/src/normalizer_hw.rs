@@ -83,7 +83,7 @@ impl HardwareNormalizer {
                 let num = x_fp - mean_fp;
                 let z_fp = (num << FP_SHIFT) / mad_fp;
                 // Scale [-4, 4] onto [-127, 127]: multiply by 127/4.
-                let scaled = z_fp * 127 / (FIXED_POINT_RANGE as i64) >> FP_SHIFT;
+                let scaled = (z_fp * 127 / (FIXED_POINT_RANGE as i64)) >> FP_SHIFT;
                 scaled.clamp(-127, 127) as i8
             })
             .collect()

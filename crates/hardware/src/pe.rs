@@ -15,8 +15,7 @@ pub const PE_AREA_MM2: f64 = 0.001203;
 pub const PE_POWER_W: f64 = 0.00192;
 
 /// The value a PE forwards to its right-hand neighbour each cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PeOutput {
     /// Accumulated alignment cost of the cell computed this cycle.
     pub cost: i32,
@@ -35,7 +34,12 @@ pub struct PeOutput {
 impl PeOutput {
     /// An invalid/padding output.
     pub fn invalid() -> Self {
-        PeOutput { cost: i32::MAX, dwell: 0, start: 0, valid: false }
+        PeOutput {
+            cost: i32::MAX,
+            dwell: 0,
+            start: 0,
+            valid: false,
+        }
     }
 }
 
@@ -83,7 +87,11 @@ impl ProcessingElement {
     ///   (it becomes this PE's `prev1` next cycle). For PE 0 pass `None`.
     ///
     /// Returns the output computed this cycle.
-    pub fn tick(&mut self, reference: Option<(usize, i8)>, neighbour: Option<PeOutput>) -> PeOutput {
+    pub fn tick(
+        &mut self,
+        reference: Option<(usize, i8)>,
+        neighbour: Option<PeOutput>,
+    ) -> PeOutput {
         let output = match reference {
             None => PeOutput::invalid(),
             Some((j, r)) => {
@@ -91,13 +99,22 @@ impl ProcessingElement {
                 if self.index == 0 {
                     // First query sample: subsequence DTW allows the alignment
                     // to start at any reference position.
-                    PeOutput { cost: d, dwell: 1, start: j, valid: true }
+                    PeOutput {
+                        cost: d,
+                        dwell: 1,
+                        start: j,
+                        valid: true,
+                    }
                 } else {
                     // Vertical predecessor: (i-1, j) — neighbour's output last
                     // cycle.
                     let mut dwell = self.prev1.dwell.saturating_add(1);
                     let mut start = self.prev1.start;
-                    let mut cost = if self.prev1.valid { self.prev1.cost } else { i32::MAX };
+                    let mut cost = if self.prev1.valid {
+                        self.prev1.cost
+                    } else {
+                        i32::MAX
+                    };
                     // Diagonal predecessor: (i-1, j-1) — neighbour's output two
                     // cycles ago, with the match bonus.
                     if self.prev2.valid {
@@ -113,7 +130,10 @@ impl ProcessingElement {
                     }
                     // Horizontal predecessor: (i, j-1) — this PE's own output
                     // last cycle (reference deletion; removed in hardware).
-                    if self.config.allow_reference_deletion && self.own_prev.valid && self.own_prev.cost < cost {
+                    if self.config.allow_reference_deletion
+                        && self.own_prev.valid
+                        && self.own_prev.cost < cost
+                    {
                         cost = self.own_prev.cost;
                         dwell = 1;
                         start = self.own_prev.start;
@@ -163,7 +183,7 @@ mod tests {
         let mut pe = ProcessingElement::new(3, 0, SdtwConfig::hardware());
         let out = pe.tick(None, None);
         assert!(!out.valid);
-        assert_eq!(PeOutput::invalid().valid, false);
+        assert!(!PeOutput::invalid().valid);
     }
 
     #[test]
@@ -171,10 +191,26 @@ mod tests {
         let config = SdtwConfig::hardware_without_bonus();
         let mut pe = ProcessingElement::new(1, 5, config);
         // Cycle 0: neighbour produced (0, 0) with cost 7; we are idle.
-        pe.tick(None, Some(PeOutput { cost: 7, dwell: 1, start: 0, valid: true }));
+        pe.tick(
+            None,
+            Some(PeOutput {
+                cost: 7,
+                dwell: 1,
+                start: 0,
+                valid: true,
+            }),
+        );
         // Cycle 1: neighbour produced (0, 1) with cost 2; we compute (1, 0):
         // only vertical predecessor (0,0) = 7 is valid.
-        let out = pe.tick(Some((0, 5)), Some(PeOutput { cost: 2, dwell: 1, start: 1, valid: true }));
+        let out = pe.tick(
+            Some((0, 5)),
+            Some(PeOutput {
+                cost: 2,
+                dwell: 1,
+                start: 1,
+                valid: true,
+            }),
+        );
         assert_eq!(out.cost, 7); // |5-5| + 7
         assert_eq!(out.dwell, 2);
         // Cycle 2: compute (1, 1): vertical = (0,1) = 2, diagonal = (0,0) = 7.
@@ -188,9 +224,25 @@ mod tests {
     fn match_bonus_is_subtracted_on_diagonal_moves() {
         let config = SdtwConfig::hardware();
         let mut pe = ProcessingElement::new(1, 0, config);
-        pe.tick(None, Some(PeOutput { cost: 100, dwell: 7, start: 0, valid: true }));
+        pe.tick(
+            None,
+            Some(PeOutput {
+                cost: 100,
+                dwell: 7,
+                start: 0,
+                valid: true,
+            }),
+        );
         // Diagonal predecessor has dwell 7 → bonus 70; vertical is expensive.
-        pe.tick(Some((0, 0)), Some(PeOutput { cost: 1_000, dwell: 1, start: 1, valid: true }));
+        pe.tick(
+            Some((0, 0)),
+            Some(PeOutput {
+                cost: 1_000,
+                dwell: 1,
+                start: 1,
+                valid: true,
+            }),
+        );
         let out = pe.tick(Some((1, 0)), None);
         // diag = 100 - 70 = 30 beats vertical 1000.
         assert_eq!(out.cost, 30);

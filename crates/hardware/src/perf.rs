@@ -17,8 +17,7 @@ pub const MINION_MAX_BASES_PER_S: f64 = 230_400.0;
 pub const GRIDION_RELATIVE_THROUGHPUT: f64 = 5.0;
 
 /// Summary of the accelerator's performance for a given target reference.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AcceleratorPerf {
     /// Number of tiles powered on.
     pub tiles: usize,
@@ -44,19 +43,10 @@ impl AcceleratorPerf {
 }
 
 /// Performance model for the full SquiggleFilter accelerator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AcceleratorModel {
     tile_config: TileConfig,
     asic: AsicModel,
-}
-
-impl Default for AcceleratorModel {
-    fn default() -> Self {
-        AcceleratorModel {
-            tile_config: TileConfig::default(),
-            asic: AsicModel::default(),
-        }
-    }
 }
 
 impl AcceleratorModel {
@@ -79,7 +69,12 @@ impl AcceleratorModel {
     /// Evaluates latency, throughput, area and power for a reference of
     /// `reference_samples` samples classified on `tiles` tiles with
     /// `prefix_samples`-sample prefixes.
-    pub fn evaluate(&self, reference_samples: usize, prefix_samples: usize, tiles: usize) -> AcceleratorPerf {
+    pub fn evaluate(
+        &self,
+        reference_samples: usize,
+        prefix_samples: usize,
+        tiles: usize,
+    ) -> AcceleratorPerf {
         let cycles = (prefix_samples + reference_samples) as f64;
         let latency_s = cycles / self.tile_config.clock_hz;
         let tile_throughput = prefix_samples as f64 * self.tile_config.clock_hz / cycles;
@@ -107,8 +102,14 @@ impl AcceleratorModel {
 
     /// The largest sequencer-throughput multiple (relative to today's
     /// MinION) that the accelerator can still filter in real time.
-    pub fn max_supported_throughput_multiple(&self, reference_samples: usize, prefix_samples: usize, tiles: usize) -> f64 {
-        self.evaluate(reference_samples, prefix_samples, tiles).minion_headroom()
+    pub fn max_supported_throughput_multiple(
+        &self,
+        reference_samples: usize,
+        prefix_samples: usize,
+        tiles: usize,
+    ) -> f64 {
+        self.evaluate(reference_samples, prefix_samples, tiles)
+            .minion_headroom()
     }
 
     /// Builds a [`Tile`] consistent with this model for functional
@@ -126,7 +127,11 @@ mod tests {
     fn sars_cov_2_design_point_matches_section_7_1() {
         let perf = AcceleratorModel::default().sars_cov_2_design_point();
         // Paper: 0.027 ms latency, 74.63 M samples/s per tile.
-        assert!((perf.latency_ms - 0.0247).abs() < 0.005, "latency {}", perf.latency_ms);
+        assert!(
+            (perf.latency_ms - 0.0247).abs() < 0.005,
+            "latency {}",
+            perf.latency_ms
+        );
         assert!(
             (60.0e6..95.0e6).contains(&perf.tile_throughput_samples_per_s),
             "tile throughput {}",
@@ -141,7 +146,11 @@ mod tests {
     fn lambda_design_point_matches_section_7_1() {
         let perf = AcceleratorModel::default().lambda_design_point();
         // Paper: 0.043 ms latency, 46.73 M samples/s per tile.
-        assert!((perf.latency_ms - 0.0396).abs() < 0.006, "latency {}", perf.latency_ms);
+        assert!(
+            (perf.latency_ms - 0.0396).abs() < 0.006,
+            "latency {}",
+            perf.latency_ms
+        );
         assert!(
             (40.0e6..60.0e6).contains(&perf.tile_throughput_samples_per_s),
             "tile throughput {}",
@@ -168,7 +177,10 @@ mod tests {
         let one = model.evaluate(60_000, 2_000, 1);
         let five = model.evaluate(60_000, 2_000, 5);
         assert_eq!(one.latency_ms, five.latency_ms);
-        assert!((five.total_throughput_samples_per_s / one.total_throughput_samples_per_s - 5.0).abs() < 1e-9);
+        assert!(
+            (five.total_throughput_samples_per_s / one.total_throughput_samples_per_s - 5.0).abs()
+                < 1e-9
+        );
         assert!(five.budget.power_w > one.budget.power_w);
     }
 
@@ -188,6 +200,6 @@ mod tests {
         // ≈ 2 M samples/s.
         let samples_per_base = MINION_MAX_SAMPLES_PER_S / MINION_MAX_BASES_PER_S;
         assert!((8.0..10.0).contains(&samples_per_base));
-        assert!(GRIDION_RELATIVE_THROUGHPUT > 1.0);
+        const { assert!(GRIDION_RELATIVE_THROUGHPUT > 1.0) }
     }
 }

@@ -15,8 +15,7 @@ use sf_sdtw::config::SdtwConfig;
 use sf_sdtw::SdtwResult;
 
 /// Result of running one read through the systolic array.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SystolicRun {
     /// Best (minimum) alignment cost observed at the final PE.
     pub best: SdtwResult,
@@ -167,7 +166,7 @@ mod tests {
         let reference = pseudo_random_reference(500, 7);
         let query: Vec<i8> = reference[123..203]
             .iter()
-            .flat_map(|&x| std::iter::repeat(x).take(2))
+            .flat_map(|&x| std::iter::repeat_n(x, 2))
             .collect();
         for config in [
             SdtwConfig::hardware(),

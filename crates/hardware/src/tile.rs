@@ -15,8 +15,7 @@ pub const REFERENCE_BUFFER_BYTES: usize = 100 * 1024;
 pub const QUERY_BUFFER_SAMPLES: usize = 2_000;
 
 /// Configuration of one tile.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TileConfig {
     /// sDTW kernel configuration programmed into the PEs.
     pub sdtw: SdtwConfig,
@@ -40,8 +39,7 @@ impl Default for TileConfig {
 }
 
 /// Outcome of classifying one read on a tile.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TileClassification {
     /// Keep or eject.
     pub verdict: FilterVerdict,
@@ -122,7 +120,8 @@ impl Tile {
     /// every `classification_cycles` the tile retires one `query_samples`
     /// prefix.
     pub fn throughput_samples_per_s(&self, query_samples: usize) -> f64 {
-        query_samples as f64 * self.config.clock_hz / self.classification_cycles(query_samples) as f64
+        query_samples as f64 * self.config.clock_hz
+            / self.classification_cycles(query_samples) as f64
     }
 
     /// Classifies a raw (10-bit ADC) read prefix: normalize on the tile's
@@ -141,7 +140,11 @@ impl Tile {
             FilterVerdict::Reject
         };
         let latency_s = self.classification_latency_s(run.active_pes);
-        TileClassification { verdict, run, latency_s }
+        TileClassification {
+            verdict,
+            run,
+            latency_s,
+        }
     }
 
     /// DRAM bandwidth needed when the tile is configured for multi-stage
@@ -172,10 +175,16 @@ mod tests {
         // (2000 + 60000) / 2.5e9 = 0.0248 ms ≈ the paper's 0.027 ms.
         let tile = Tile::new(TileConfig::default(), small_reference(60_000));
         let latency_ms = tile.classification_latency_s(2_000) * 1e3;
-        assert!((0.02..0.03).contains(&latency_ms), "latency {latency_ms} ms");
+        assert!(
+            (0.02..0.03).contains(&latency_ms),
+            "latency {latency_ms} ms"
+        );
         // Throughput ≈ 80 M samples/s, same order as the paper's 74.63 M.
         let throughput = tile.throughput_samples_per_s(2_000);
-        assert!((60.0e6..100.0e6).contains(&throughput), "throughput {throughput}");
+        assert!(
+            (60.0e6..100.0e6).contains(&throughput),
+            "throughput {throughput}"
+        );
     }
 
     #[test]
@@ -194,7 +203,10 @@ mod tests {
         let reference = small_reference(3_000);
         // A query that is an exact slice of the reference (already quantized).
         let matching: Vec<i8> = reference[500..900].to_vec();
-        let random: Vec<i8> = small_reference(400).iter().map(|&x| x.wrapping_add(63)).collect();
+        let random: Vec<i8> = small_reference(400)
+            .iter()
+            .map(|&x| x.wrapping_add(63))
+            .collect();
         let tile = Tile::new(TileConfig::default(), reference);
         let cost_match = tile.classify_quantized(&matching).run.best.cost;
         let cost_random = tile.classify_quantized(&random).run.best.cost;
@@ -210,7 +222,10 @@ mod tests {
         let cost = permissive.classify_quantized(&query).run.best.cost;
         config.threshold = (cost - 1.0) as i32;
         let strict = Tile::new(config, reference);
-        assert_eq!(strict.classify_quantized(&query).verdict, FilterVerdict::Reject);
+        assert_eq!(
+            strict.classify_quantized(&query).verdict,
+            FilterVerdict::Reject
+        );
     }
 
     #[test]

@@ -2,8 +2,7 @@
 
 /// Counts of classification outcomes for a binary classifier where
 /// "positive" means "classified as target / kept".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct ConfusionMatrix {
     /// Target reads correctly kept.
     pub true_positives: u64,
@@ -48,22 +47,34 @@ impl ConfusionMatrix {
 
     /// True-positive rate (recall / sensitivity); 0 when undefined.
     pub fn true_positive_rate(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// False-positive rate; 0 when undefined.
     pub fn false_positive_rate(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 
     /// True-negative rate (specificity); 0 when undefined.
     pub fn true_negative_rate(&self) -> f64 {
-        ratio(self.true_negatives, self.true_negatives + self.false_positives)
+        ratio(
+            self.true_negatives,
+            self.true_negatives + self.false_positives,
+        )
     }
 
     /// Precision (positive predictive value); 0 when undefined.
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// Recall — alias of [`ConfusionMatrix::true_positive_rate`].
@@ -146,7 +157,13 @@ mod tests {
 
     #[test]
     fn record_and_from_pairs_agree() {
-        let pairs = vec![(true, true), (true, false), (false, true), (false, false), (true, true)];
+        let pairs = vec![
+            (true, true),
+            (true, false),
+            (false, true),
+            (false, false),
+            (true, true),
+        ];
         let from_pairs = ConfusionMatrix::from_pairs(pairs.clone());
         let mut recorded = ConfusionMatrix::new();
         for (t, p) in pairs {

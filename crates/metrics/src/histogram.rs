@@ -1,8 +1,7 @@
 //! Histograms and summary statistics for cost distributions (Figure 11).
 
 /// Summary statistics of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -49,8 +48,7 @@ pub fn summary(values: &[f64]) -> Summary {
 }
 
 /// A fixed-width histogram over a numeric range.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Histogram {
     min: f64,
     max: f64,
@@ -125,7 +123,10 @@ impl Histogram {
     pub fn bin_edges(&self, index: usize) -> (f64, f64) {
         assert!(index < self.counts.len(), "bin index out of range");
         let width = (self.max - self.min) / self.counts.len() as f64;
-        (self.min + width * index as f64, self.min + width * (index + 1) as f64)
+        (
+            self.min + width * index as f64,
+            self.min + width * (index + 1) as f64,
+        )
     }
 
     /// Renders the histogram as rows of `low..high count` text (used by the

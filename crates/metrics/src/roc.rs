@@ -6,8 +6,7 @@
 use crate::confusion::ConfusionMatrix;
 
 /// A scored observation: the classifier's score and the ground-truth label.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ScoredSample {
     /// Classifier score (e.g. sDTW alignment cost). Lower = more likely
     /// target.
@@ -17,8 +16,7 @@ pub struct ScoredSample {
 }
 
 /// One point of the ROC curve.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RocPoint {
     /// The threshold: samples with `score <= threshold` are predicted
     /// positive.
@@ -40,8 +38,7 @@ impl RocPoint {
 }
 
 /// A full ROC curve.
-#[derive(Debug, Clone, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct RocCurve {
     /// Points in increasing threshold order (i.e. increasing FPR).
     pub points: Vec<RocPoint>,
@@ -64,9 +61,12 @@ impl RocCurve {
 
     /// The point with the maximum F1 score.
     pub fn best_f1(&self) -> Option<&RocPoint> {
-        self.points
-            .iter()
-            .max_by(|a, b| a.matrix.f1().partial_cmp(&b.matrix.f1()).expect("finite f1"))
+        self.points.iter().max_by(|a, b| {
+            a.matrix
+                .f1()
+                .partial_cmp(&b.matrix.f1())
+                .expect("finite f1")
+        })
     }
 
     /// The maximum F1 score over the curve (0 for an empty curve).
@@ -128,8 +128,14 @@ mod tests {
     fn separable() -> Vec<ScoredSample> {
         let mut samples = Vec::new();
         for i in 0..50 {
-            samples.push(ScoredSample { score: i as f64, is_target: true });
-            samples.push(ScoredSample { score: 100.0 + i as f64, is_target: false });
+            samples.push(ScoredSample {
+                score: i as f64,
+                is_target: true,
+            });
+            samples.push(ScoredSample {
+                score: 100.0 + i as f64,
+                is_target: false,
+            });
         }
         samples
     }
@@ -137,8 +143,14 @@ mod tests {
     fn overlapping() -> Vec<ScoredSample> {
         let mut samples = Vec::new();
         for i in 0..50 {
-            samples.push(ScoredSample { score: i as f64, is_target: true });
-            samples.push(ScoredSample { score: 25.0 + i as f64, is_target: false });
+            samples.push(ScoredSample {
+                score: i as f64,
+                is_target: true,
+            });
+            samples.push(ScoredSample {
+                score: 25.0 + i as f64,
+                is_target: false,
+            });
         }
         samples
     }
@@ -185,7 +197,11 @@ mod tests {
         let point = curve.point_for_tpr(0.9).unwrap();
         assert!(point.tpr() >= 0.9);
         // And it is the cheapest such point: the previous point is below 0.9.
-        let idx = curve.points.iter().position(|p| p.threshold == point.threshold).unwrap();
+        let idx = curve
+            .points
+            .iter()
+            .position(|p| p.threshold == point.threshold)
+            .unwrap();
         if idx > 0 {
             assert!(curve.points[idx - 1].tpr() < 0.9);
         }
@@ -204,7 +220,10 @@ mod tests {
     fn inverted_scores_give_auc_below_half() {
         // If targets score *higher* than background the curve is below chance.
         let samples: Vec<ScoredSample> = (0..20)
-            .map(|i| ScoredSample { score: i as f64, is_target: i >= 10 })
+            .map(|i| ScoredSample {
+                score: i as f64,
+                is_target: i >= 10,
+            })
             .collect();
         assert!(roc_curve(&samples).auc() < 0.5);
     }

@@ -13,8 +13,7 @@
 //! conversion.
 
 /// Calibration constants mapping raw ADC counts to picoamperes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AdcModel {
     /// Additive offset applied to raw counts before scaling.
     pub offset: f32,
@@ -114,7 +113,10 @@ mod tests {
         for pa in [5.0f32, 45.0, 89.9, 130.2, 200.0] {
             let raw = adc.to_raw(pa);
             let back = adc.to_picoamps(raw);
-            assert!((back - pa).abs() <= adc.resolution_pa(), "{pa} -> {raw} -> {back}");
+            assert!(
+                (back - pa).abs() <= adc.resolution_pa(),
+                "{pa} -> {raw} -> {back}"
+            );
         }
     }
 

@@ -19,8 +19,7 @@ use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// Expected signal statistics for one k-mer.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct KmerLevel {
     /// Mean current in picoamperes.
     pub mean_pa: f32,
@@ -45,8 +44,7 @@ pub struct KmerLevel {
 /// // One expected current per k-mer position.
 /// assert_eq!(expected.len(), seq.len() - 6 + 1);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct KmerModel {
     k: usize,
     levels: Vec<KmerLevel>,
@@ -58,9 +56,19 @@ pub enum KmerModelError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// A line did not have the expected `kmer<TAB>mean<TAB>sd` shape.
-    Malformed { line: usize, reason: String },
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
     /// The table did not contain exactly 4^k entries.
-    WrongSize { expected: usize, found: usize },
+    WrongSize {
+        /// 4^k entries expected for the model's k.
+        expected: usize,
+        /// Entries actually present.
+        found: usize,
+    },
 }
 
 impl fmt::Display for KmerModelError {
@@ -100,7 +108,11 @@ impl KmerModel {
     /// Panics if `levels.len() != 4^k` or `k == 0`.
     pub fn from_levels(k: usize, levels: Vec<KmerLevel>) -> Self {
         assert!(k > 0, "k must be positive");
-        assert_eq!(levels.len(), 1usize << (2 * k), "level table must have 4^k entries");
+        assert_eq!(
+            levels.len(),
+            1usize << (2 * k),
+            "level table must have 4^k entries"
+        );
         KmerModel { k, levels }
     }
 
@@ -138,14 +150,17 @@ impl KmerModel {
             let mut mean = 90.0f32;
             for (pos, weight) in weights.iter().enumerate() {
                 let shift = 2 * (k - 1 - pos);
-                let code = ((rank >> shift) & 0b11) as usize;
+                let code = (rank >> shift) & 0b11;
                 mean += weight * base_offset[code];
             }
             // Seeded jitter decorrelates k-mers sharing most of their bases a
             // little, as in the real table.
             mean += (rng.random::<f32>() - 0.5) * 6.0;
             let sd = 1.5 + rng.random::<f32>() * 1.5;
-            levels.push(KmerLevel { mean_pa: mean, sd_pa: sd });
+            levels.push(KmerLevel {
+                mean_pa: mean,
+                sd_pa: sd,
+            });
         }
         KmerModel { k, levels }
     }
@@ -181,7 +196,9 @@ impl KmerModel {
         if kmer.len() != self.k {
             return None;
         }
-        let rank = kmer.iter().fold(0usize, |acc, b| (acc << 2) | b.code() as usize);
+        let rank = kmer
+            .iter()
+            .fold(0usize, |acc, b| (acc << 2) | b.code() as usize);
         Some(self.levels[rank])
     }
 
@@ -262,13 +279,12 @@ impl KmerModel {
                 line: line_no,
                 reason: "missing k-mer column".into(),
             })?;
-            let mean: f32 = fields
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| KmerModelError::Malformed {
+            let mean: f32 = fields.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                KmerModelError::Malformed {
                     line: line_no,
                     reason: "missing or invalid mean column".into(),
-                })?;
+                }
+            })?;
             let sd: f32 = fields.next().and_then(|s| s.parse().ok()).unwrap_or(2.0);
             if k == 0 {
                 k = kmer.len();
@@ -286,7 +302,13 @@ impl KmerModel {
                 })?;
                 rank = (rank << 2) | base.code() as usize;
             }
-            entries.push((rank, KmerLevel { mean_pa: mean, sd_pa: sd }));
+            entries.push((
+                rank,
+                KmerLevel {
+                    mean_pa: mean,
+                    sd_pa: sd,
+                },
+            ));
         }
         let expected = 1usize << (2 * k.max(1));
         if k == 0 || entries.len() != expected {
@@ -295,7 +317,13 @@ impl KmerModel {
                 found: entries.len(),
             });
         }
-        let mut levels = vec![KmerLevel { mean_pa: 0.0, sd_pa: 0.0 }; expected];
+        let mut levels = vec![
+            KmerLevel {
+                mean_pa: 0.0,
+                sd_pa: 0.0
+            };
+            expected
+        ];
         for (rank, level) in entries {
             levels[rank] = level;
         }
@@ -362,7 +390,8 @@ mod tests {
         let genome = sf_genome::random::random_genome(5, 20_000);
         let signal = model.expected_signal_normalized(&genome);
         let mean: f32 = signal.iter().sum::<f32>() / signal.len() as f32;
-        let sd: f32 = (signal.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / signal.len() as f32).sqrt();
+        let sd: f32 =
+            (signal.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / signal.len() as f32).sqrt();
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((sd - 1.0).abs() < 0.15, "sd {sd}");
     }
@@ -378,7 +407,9 @@ mod tests {
     fn level_for_matches_rank_lookup() {
         let model = KmerModel::synthetic_r94(2);
         let kmer = [Base::A, Base::C, Base::G, Base::T, Base::A, Base::C];
-        let rank = kmer.iter().fold(0usize, |acc, b| (acc << 2) | b.code() as usize);
+        let rank = kmer
+            .iter()
+            .fold(0usize, |acc, b| (acc << 2) | b.code() as usize);
         assert_eq!(model.level_for(&kmer), Some(model.level(rank)));
     }
 
@@ -419,6 +450,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "4^k")]
     fn from_levels_validates_size() {
-        let _ = KmerModel::from_levels(2, vec![KmerLevel { mean_pa: 1.0, sd_pa: 1.0 }; 3]);
+        let _ = KmerModel::from_levels(
+            2,
+            vec![
+                KmerLevel {
+                    mean_pa: 1.0,
+                    sd_pa: 1.0
+                };
+                3
+            ],
+        );
     }
 }

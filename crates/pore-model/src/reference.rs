@@ -30,8 +30,7 @@ use sf_genome::Sequence;
 /// assert_eq!(reference.total_samples(), reference.forward().len() * 2);
 /// assert!(reference.forward().len() <= genome.len());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ReferenceSquiggle {
     forward: Vec<f32>,
     reverse: Vec<f32>,
@@ -175,7 +174,11 @@ mod tests {
         let model = KmerModel::synthetic_r94(0);
         let genome = random_genome(2, 2_000);
         let reference = ReferenceSquiggle::from_genome(&model, &genome);
-        for (f, q) in reference.forward().iter().zip(reference.forward_quantized()) {
+        for (f, q) in reference
+            .forward()
+            .iter()
+            .zip(reference.forward_quantized())
+        {
             assert!((dequantize(*q) - f).abs() < 0.04);
         }
     }
@@ -188,13 +191,17 @@ mod tests {
         let genome = sf_genome::random::covid_like_genome(3);
         let reference = ReferenceSquiggle::from_genome(&model, &genome);
         assert!(reference.total_samples() > 55_000 && reference.total_samples() < 60_000);
-        assert!(reference.buffer_bytes() <= 100 * 1024, "exceeds 100 KB buffer");
+        assert!(
+            reference.buffer_bytes() <= 100 * 1024,
+            "exceeds 100 KB buffer"
+        );
     }
 
     #[test]
     fn lambda_reference_is_larger_than_covid() {
         let model = KmerModel::synthetic_r94(0);
-        let covid = ReferenceSquiggle::from_genome(&model, &sf_genome::random::covid_like_genome(1));
+        let covid =
+            ReferenceSquiggle::from_genome(&model, &sf_genome::random::covid_like_genome(1));
         let lambda = ReferenceSquiggle::from_genome(&model, &lambda_like_genome(1));
         assert!(lambda.total_samples() > covid.total_samples());
     }

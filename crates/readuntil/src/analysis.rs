@@ -6,8 +6,7 @@ use sf_hw::{AcceleratorModel, MINION_MAX_BASES_PER_S};
 
 /// Compute-time share of each pipeline stage for a metagenomic assembly run
 /// (Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ComputeBreakdown {
     /// Viral fraction of the specimen the breakdown was computed for.
     pub viral_fraction: f64,
@@ -47,8 +46,7 @@ pub fn compute_breakdown(viral_fraction: f64) -> ComputeBreakdown {
 }
 
 /// One point of the sequencing-throughput growth curve (Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ThroughputPoint {
     /// Year of availability.
     pub year: u32,
@@ -62,19 +60,46 @@ pub struct ThroughputPoint {
 /// ONT's announced roadmap).
 pub fn throughput_growth() -> Vec<ThroughputPoint> {
     vec![
-        ThroughputPoint { year: 2014, device: "MinION (early)", relative_throughput: 0.05 },
-        ThroughputPoint { year: 2016, device: "MinION R9", relative_throughput: 0.3 },
-        ThroughputPoint { year: 2018, device: "MinION R9.4.1", relative_throughput: 0.7 },
-        ThroughputPoint { year: 2021, device: "MinION Mk1B", relative_throughput: 1.0 },
-        ThroughputPoint { year: 2021, device: "GridION", relative_throughput: 5.0 },
-        ThroughputPoint { year: 2023, device: "MinION prototype (announced)", relative_throughput: 16.0 },
-        ThroughputPoint { year: 2025, device: "High-density flow cell (announced)", relative_throughput: 100.0 },
+        ThroughputPoint {
+            year: 2014,
+            device: "MinION (early)",
+            relative_throughput: 0.05,
+        },
+        ThroughputPoint {
+            year: 2016,
+            device: "MinION R9",
+            relative_throughput: 0.3,
+        },
+        ThroughputPoint {
+            year: 2018,
+            device: "MinION R9.4.1",
+            relative_throughput: 0.7,
+        },
+        ThroughputPoint {
+            year: 2021,
+            device: "MinION Mk1B",
+            relative_throughput: 1.0,
+        },
+        ThroughputPoint {
+            year: 2021,
+            device: "GridION",
+            relative_throughput: 5.0,
+        },
+        ThroughputPoint {
+            year: 2023,
+            device: "MinION prototype (announced)",
+            relative_throughput: 16.0,
+        },
+        ThroughputPoint {
+            year: 2025,
+            device: "High-density flow cell (announced)",
+            relative_throughput: 100.0,
+        },
     ]
 }
 
 /// Which classifier backs the Read Until deployment in the scalability study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ScalabilityClassifier {
     /// Guppy-lite on the Jetson Xavier edge GPU.
     GuppyLiteJetson,
@@ -85,8 +110,7 @@ pub enum ScalabilityClassifier {
 }
 
 /// One point of the Figure 21 scalability curve.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ScalabilityPoint {
     /// Sequencer throughput relative to today's MinION.
     pub sequencer_multiple: f64,
@@ -138,7 +162,11 @@ mod tests {
     fn basecalling_dominates_the_breakdown() {
         for fraction in [0.01, 0.001] {
             let breakdown = compute_breakdown(fraction);
-            assert!(breakdown.basecalling > 0.9, "basecalling share {}", breakdown.basecalling);
+            assert!(
+                breakdown.basecalling > 0.9,
+                "basecalling share {}",
+                breakdown.basecalling
+            );
             let total = breakdown.basecalling + breakdown.alignment + breakdown.variant_calling;
             assert!((total - 1.0).abs() < 1e-9);
         }

@@ -24,7 +24,7 @@ pub mod analysis;
 pub mod runtime;
 
 pub use analysis::{
-    compute_breakdown, scalability_curve, throughput_growth, ComputeBreakdown, ScalabilityClassifier,
-    ScalabilityPoint, ThroughputPoint,
+    compute_breakdown, scalability_curve, throughput_growth, ComputeBreakdown,
+    ScalabilityClassifier, ScalabilityPoint, ThroughputPoint,
 };
 pub use runtime::{ClassifierPoint, RuntimeEstimate, RuntimeModel, SequencingParams};

@@ -9,8 +9,7 @@
 //! prefix instead of their full length.
 
 /// Parameters of a sequencing run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SequencingParams {
     /// Number of actively sequencing pores.
     pub active_pores: usize,
@@ -46,8 +45,7 @@ impl Default for SequencingParams {
 }
 
 /// A classifier operating point as seen by the runtime model.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ClassifierPoint {
     /// Fraction of target reads kept.
     pub true_positive_rate: f64,
@@ -72,8 +70,7 @@ impl ClassifierPoint {
 }
 
 /// Output of the analytical model for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RuntimeEstimate {
     /// Wall-clock sequencing time to reach the coverage target, seconds.
     pub runtime_s: f64,
@@ -98,8 +95,7 @@ impl RuntimeEstimate {
 }
 
 /// The analytical Read Until runtime model.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct RuntimeModel {
     /// Sequencing-run parameters.
     pub params: SequencingParams,
@@ -201,8 +197,10 @@ mod tests {
 
     #[test]
     fn lower_viral_fraction_needs_longer_runs() {
-        let mut params = SequencingParams::default();
-        params.viral_fraction = 0.01;
+        let mut params = SequencingParams {
+            viral_fraction: 0.01,
+            ..Default::default()
+        };
         let one_percent = RuntimeModel::new(params).without_read_until().runtime_s;
         params.viral_fraction = 0.001;
         let tenth_percent = RuntimeModel::new(params).without_read_until().runtime_s;
@@ -213,9 +211,13 @@ mod tests {
     fn false_negatives_hurt_runtime() {
         let model = RuntimeModel::default();
         let perfect = ClassifierPoint::oracle(2_000);
-        let lossy = ClassifierPoint { true_positive_rate: 0.5, ..perfect };
+        let lossy = ClassifierPoint {
+            true_positive_rate: 0.5,
+            ..perfect
+        };
         // Losing half the target reads roughly doubles the time to coverage.
-        let ratio = model.with_read_until(lossy).runtime_s / model.with_read_until(perfect).runtime_s;
+        let ratio =
+            model.with_read_until(lossy).runtime_s / model.with_read_until(perfect).runtime_s;
         assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
     }
 
@@ -223,7 +225,10 @@ mod tests {
     fn false_positives_waste_time_but_less_than_no_read_until() {
         let model = RuntimeModel::default();
         let perfect = ClassifierPoint::oracle(2_000);
-        let leaky = ClassifierPoint { false_positive_rate: 0.3, ..perfect };
+        let leaky = ClassifierPoint {
+            false_positive_rate: 0.3,
+            ..perfect
+        };
         let perfect_time = model.with_read_until(perfect).runtime_s;
         let leaky_time = model.with_read_until(leaky).runtime_s;
         let control_time = model.without_read_until().runtime_s;
@@ -236,11 +241,16 @@ mod tests {
         let model = RuntimeModel::default();
         let fast = ClassifierPoint::oracle(2_000);
         // Guppy-like: 1.25 s decision latency.
-        let slow = ClassifierPoint { decision_latency_s: 1.25, ..fast };
+        let slow = ClassifierPoint {
+            decision_latency_s: 1.25,
+            ..fast
+        };
         assert!(model.with_read_until(slow).runtime_s > model.with_read_until(fast).runtime_s);
         // Longer decision prefixes also cost time.
         let long_prefix = ClassifierPoint::oracle(10_000);
-        assert!(model.with_read_until(long_prefix).runtime_s > model.with_read_until(fast).runtime_s);
+        assert!(
+            model.with_read_until(long_prefix).runtime_s > model.with_read_until(fast).runtime_s
+        );
     }
 
     #[test]

@@ -16,8 +16,7 @@ use sf_pore_model::KmerModel;
 use sf_squiggle::RawSquiggle;
 
 /// A read together with its synthesized raw squiggle and ground-truth label.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LabelledSquiggle {
     /// The simulated read (carries the ground-truth origin).
     pub read: SimulatedRead,
@@ -164,7 +163,8 @@ impl DatasetBuilder {
     pub fn build(self) -> Dataset {
         let model = KmerModel::synthetic_r94(self.model_seed);
         let background = human_like_background(self.seed.wrapping_add(101), self.background_length);
-        let mut squiggle_sim = SquiggleSimulator::new(model, self.squiggle_config, self.seed.wrapping_add(7));
+        let mut squiggle_sim =
+            SquiggleSimulator::new(model, self.squiggle_config, self.seed.wrapping_add(7));
 
         let mut reads = Vec::with_capacity(self.target_reads + self.background_reads);
         let mut target_sim = ReadSimulator::new(
@@ -238,7 +238,12 @@ mod tests {
     fn reads_are_shuffled() {
         let dataset = small_lambda();
         // The first 30 entries should not all be targets if shuffling works.
-        let first_targets = dataset.reads.iter().take(30).filter(|r| r.is_target()).count();
+        let first_targets = dataset
+            .reads
+            .iter()
+            .take(30)
+            .filter(|r| r.is_target())
+            .count();
         assert!(first_targets < 30);
     }
 
@@ -249,14 +254,25 @@ mod tests {
             .background_reads(5)
             .background_length(100_000)
             .build();
-        assert_eq!(dataset.target_genome.len(), sf_genome::catalog::SARS_COV_2_LENGTH);
+        assert_eq!(
+            dataset.target_genome.len(),
+            sf_genome::catalog::SARS_COV_2_LENGTH
+        );
         assert_eq!(dataset.name, "covid-vs-human");
     }
 
     #[test]
     fn dataset_is_deterministic() {
-        let a = DatasetBuilder::lambda(9).target_reads(5).background_reads(5).background_length(100_000).build();
-        let b = DatasetBuilder::lambda(9).target_reads(5).background_reads(5).background_length(100_000).build();
+        let a = DatasetBuilder::lambda(9)
+            .target_reads(5)
+            .background_reads(5)
+            .background_length(100_000)
+            .build();
+        let b = DatasetBuilder::lambda(9)
+            .target_reads(5)
+            .background_reads(5)
+            .background_length(100_000)
+            .build();
         assert_eq!(a.reads, b.reads);
     }
 

@@ -19,8 +19,7 @@ use rand::{RngExt, SeedableRng};
 /// decision takes. This is deliberately classifier-agnostic; `sf-readuntil`
 /// plugs in rates measured from the sDTW filter or the basecall+align
 /// baseline.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ReadUntilPolicy {
     /// Probability that a target read is (correctly) kept.
     pub true_positive_rate: f64,
@@ -47,8 +46,7 @@ impl ReadUntilPolicy {
 }
 
 /// State of one flow-cell channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ChannelState {
     /// Pore is usable (capturing or sequencing).
     Active,
@@ -59,8 +57,7 @@ pub enum ChannelState {
 }
 
 /// Configuration of the flow-cell simulation.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FlowCellConfig {
     /// Number of addressable channels (MinION: 512).
     pub channels: usize,
@@ -109,8 +106,7 @@ impl Default for FlowCellConfig {
 }
 
 /// One sampled point of the run timeline.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimelinePoint {
     /// Time since run start, seconds.
     pub time_s: f64,
@@ -123,8 +119,7 @@ pub struct TimelinePoint {
 }
 
 /// Aggregate results of one simulated run.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FlowCellRun {
     /// Periodic samples of the run state (every `sample_interval_s`).
     pub timeline: Vec<TimelinePoint>,
@@ -233,20 +228,26 @@ impl FlowCellSimulator {
                 }
                 total_reads += 1;
                 let is_target = rng.random_bool(cfg.target_fraction);
-                let read_length = lognormal_with_mean(&mut rng, cfg.mean_read_length, cfg.read_length_sigma)
-                    .max(200.0);
+                let read_length =
+                    lognormal_with_mean(&mut rng, cfg.mean_read_length, cfg.read_length_sigma)
+                        .max(200.0);
                 let full_duration = read_length / cfg.bases_per_second;
                 // Read Until decision.
                 let (sequenced_duration, sequenced_bases) = match policy {
                     Some(p) => {
-                        let keep_probability = if is_target { p.true_positive_rate } else { p.false_positive_rate };
+                        let keep_probability = if is_target {
+                            p.true_positive_rate
+                        } else {
+                            p.false_positive_rate
+                        };
                         let keep = rng.random_bool(keep_probability.clamp(0.0, 1.0));
                         if keep {
                             (full_duration, read_length)
                         } else {
                             // Ejected after the decision prefix plus latency.
-                            let decision_time =
-                                p.decision_prefix_samples as f64 / cfg.sample_rate_hz + p.decision_latency_s;
+                            let decision_time = p.decision_prefix_samples as f64
+                                / cfg.sample_rate_hz
+                                + p.decision_latency_s;
                             let duration = decision_time.min(full_duration);
                             ejected_reads += 1;
                             (duration, duration * cfg.bases_per_second)
@@ -255,7 +256,8 @@ impl FlowCellSimulator {
                     None => (full_duration, read_length),
                 };
                 let end = (t + sequenced_duration).min(cfg.duration_s);
-                let effective_bases = ((end - t) * cfg.bases_per_second).min(sequenced_bases) as u64;
+                let effective_bases =
+                    ((end - t) * cfg.bases_per_second).min(sequenced_bases) as u64;
                 total_bases += effective_bases;
                 let start_idx = (t / sample_interval_s).ceil() as usize;
                 let end_idx = (end / sample_interval_s).floor() as usize;
@@ -275,7 +277,8 @@ impl FlowCellSimulator {
                 // Pore blockage: probability grows with time spent
                 // sequencing this read, so control and Read Until arms wear
                 // at the same rate per sequenced second.
-                let block_probability = 1.0 - (-cfg.block_rate_per_hour * sequenced_duration / 3600.0).exp();
+                let block_probability =
+                    1.0 - (-cfg.block_rate_per_hour * sequenced_duration / 3600.0).exp();
                 if rng.random_bool(block_probability.clamp(0.0, 1.0)) {
                     active_intervals.push((interval_start, t));
                     if rng.random_bool(cfg.death_probability) {
@@ -293,7 +296,11 @@ impl FlowCellSimulator {
             for (start, end) in active_intervals {
                 let first = (start / sample_interval_s).ceil() as usize;
                 let last = (end / sample_interval_s).floor() as usize;
-                for slot in active_at.iter_mut().take(last.min(samples - 1) + 1).skip(first) {
+                for slot in active_at
+                    .iter_mut()
+                    .take(last.min(samples - 1) + 1)
+                    .skip(first)
+                {
                     *slot += 1;
                 }
             }
@@ -366,7 +373,10 @@ mod tests {
             assert!(pair[1].target_bases >= pair[0].target_bases);
             assert!(pair[1].time_s > pair[0].time_s);
         }
-        assert_eq!(run.timeline.last().unwrap().sequenced_bases, run.total_bases);
+        assert_eq!(
+            run.timeline.last().unwrap().sequenced_bases,
+            run.total_bases
+        );
     }
 
     #[test]

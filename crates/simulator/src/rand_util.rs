@@ -77,7 +77,9 @@ mod tests {
     #[test]
     fn geometric_dwell_respects_min_and_mean() {
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<usize> = (0..20_000).map(|_| geometric_dwell(&mut rng, 10.0, 4)).collect();
+        let samples: Vec<usize> = (0..20_000)
+            .map(|_| geometric_dwell(&mut rng, 10.0, 4))
+            .collect();
         assert!(samples.iter().all(|&x| x >= 4));
         let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
         assert!((mean - 10.0).abs() < 0.3, "mean {mean}");

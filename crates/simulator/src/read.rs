@@ -13,8 +13,7 @@ use sf_genome::Sequence;
 
 /// Where a simulated read came from. This is the ground-truth label used for
 /// accuracy evaluation (the paper's lambda/human and SARS-CoV-2/human sets).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ReadOrigin {
     /// The read is a fragment of the target virus genome.
     Target,
@@ -23,8 +22,7 @@ pub enum ReadOrigin {
 }
 
 /// Strand of the source genome a read was drawn from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Strand {
     /// The reference-forward strand.
     Forward,
@@ -33,8 +31,7 @@ pub enum Strand {
 }
 
 /// A simulated read: the DNA fragment plus its ground truth provenance.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SimulatedRead {
     /// Sequential identifier, unique within one simulator run.
     pub id: u64,
@@ -68,8 +65,7 @@ impl SimulatedRead {
 }
 
 /// Configuration of the read sampler.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ReadSimulatorConfig {
     /// Mean read length in bases.
     pub mean_length: f64,
@@ -136,7 +132,12 @@ impl<'a> ReadSimulator<'a> {
     ///
     /// Panics if the genome is shorter than the configured minimum read
     /// length.
-    pub fn new(genome: &'a Sequence, origin: ReadOrigin, config: ReadSimulatorConfig, seed: u64) -> Self {
+    pub fn new(
+        genome: &'a Sequence,
+        origin: ReadOrigin,
+        config: ReadSimulatorConfig,
+        seed: u64,
+    ) -> Self {
         assert!(
             genome.len() >= config.min_length,
             "genome ({} bases) shorter than the minimum read length ({})",
@@ -189,9 +190,16 @@ impl<'a> ReadSimulator<'a> {
     }
 
     fn sample_length(&mut self) -> usize {
-        let draw = lognormal_with_mean(&mut self.rng, self.config.mean_length, self.config.length_sigma);
+        let draw = lognormal_with_mean(
+            &mut self.rng,
+            self.config.mean_length,
+            self.config.length_sigma,
+        );
         let len = draw.round() as usize;
-        len.clamp(self.config.min_length, self.config.max_length.min(self.genome.len()))
+        len.clamp(
+            self.config.min_length,
+            self.config.max_length.min(self.genome.len()),
+        )
     }
 }
 
@@ -203,7 +211,8 @@ mod tests {
     #[test]
     fn reads_are_within_genome_bounds() {
         let genome = lambda_like_genome(3);
-        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 1);
+        let mut sim =
+            ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 1);
         for read in sim.simulate(200) {
             assert!(read.start + read.len() <= genome.len());
             assert!(read.len() >= 300);
@@ -213,10 +222,14 @@ mod tests {
     #[test]
     fn forward_reads_match_genome_subsequence() {
         let genome = lambda_like_genome(3);
-        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 2);
+        let mut sim =
+            ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 2);
         let reads = sim.simulate(100);
         for read in reads.iter().filter(|r| r.strand == Strand::Forward) {
-            assert_eq!(read.sequence, genome.subsequence(read.start, read.start + read.len()));
+            assert_eq!(
+                read.sequence,
+                genome.subsequence(read.start, read.start + read.len())
+            );
         }
         for read in reads.iter().filter(|r| r.strand == Strand::Reverse) {
             assert_eq!(
@@ -229,16 +242,25 @@ mod tests {
     #[test]
     fn both_strands_are_produced() {
         let genome = lambda_like_genome(3);
-        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 5);
+        let mut sim =
+            ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 5);
         let reads = sim.simulate(100);
         let forward = reads.iter().filter(|r| r.strand == Strand::Forward).count();
-        assert!(forward > 20 && forward < 80, "forward strand count {forward}");
+        assert!(
+            forward > 20 && forward < 80,
+            "forward strand count {forward}"
+        );
     }
 
     #[test]
     fn ids_are_sequential_and_unique() {
         let genome = lambda_like_genome(4);
-        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Background, ReadSimulatorConfig::viral(), 6);
+        let mut sim = ReadSimulator::new(
+            &genome,
+            ReadOrigin::Background,
+            ReadSimulatorConfig::viral(),
+            6,
+        );
         let reads = sim.simulate(50);
         for (i, read) in reads.iter().enumerate() {
             assert_eq!(read.id, i as u64);
@@ -249,17 +271,30 @@ mod tests {
     #[test]
     fn simulation_is_deterministic_per_seed() {
         let genome = lambda_like_genome(5);
-        let a = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 9).simulate(20);
-        let b = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 9).simulate(20);
+        let a = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 9)
+            .simulate(20);
+        let b = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 9)
+            .simulate(20);
         assert_eq!(a, b);
-        let c = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::viral(), 10).simulate(20);
+        let c = ReadSimulator::new(
+            &genome,
+            ReadOrigin::Target,
+            ReadSimulatorConfig::viral(),
+            10,
+        )
+        .simulate(20);
         assert_ne!(a, c);
     }
 
     #[test]
     fn background_reads_use_default_lengths() {
         let genome = human_like_background(1, 200_000);
-        let mut sim = ReadSimulator::new(&genome, ReadOrigin::Background, ReadSimulatorConfig::default(), 3);
+        let mut sim = ReadSimulator::new(
+            &genome,
+            ReadOrigin::Background,
+            ReadSimulatorConfig::default(),
+            3,
+        );
         let reads = sim.simulate(300);
         let mean: f64 = reads.iter().map(|r| r.len() as f64).sum::<f64>() / reads.len() as f64;
         assert!(mean > 4_000.0 && mean < 14_000.0, "mean read length {mean}");
@@ -269,6 +304,11 @@ mod tests {
     #[should_panic(expected = "shorter than")]
     fn genome_shorter_than_min_length_panics() {
         let genome: Sequence = "ACGT".parse().unwrap();
-        let _ = ReadSimulator::new(&genome, ReadOrigin::Target, ReadSimulatorConfig::default(), 0);
+        let _ = ReadSimulator::new(
+            &genome,
+            ReadOrigin::Target,
+            ReadSimulatorConfig::default(),
+            0,
+        );
     }
 }

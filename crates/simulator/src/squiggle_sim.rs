@@ -22,8 +22,7 @@ use sf_pore_model::{AdcModel, KmerModel};
 use sf_squiggle::{RawSquiggle, DEFAULT_SAMPLE_RATE_HZ, SAMPLES_PER_BASE};
 
 /// Configuration of the signal synthesis.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SquiggleSimulatorConfig {
     /// Mean number of samples per base (MinION ≈ 8.9–10).
     pub samples_per_base: f64,
@@ -140,7 +139,8 @@ impl SquiggleSimulator {
     /// k-mer length.
     pub fn synthesize(&mut self, fragment: &Sequence) -> RawSquiggle {
         let expected = self.model.expected_signal(fragment);
-        let mut picoamps: Vec<f32> = Vec::with_capacity((expected.len() as f64 * self.config.samples_per_base) as usize);
+        let mut picoamps: Vec<f32> =
+            Vec::with_capacity((expected.len() as f64 * self.config.samples_per_base) as usize);
         // Per-read pore bias.
         let gain = normal(&mut self.rng, 1.0, self.config.gain_sd).max(0.5) as f32;
         let offset = normal(&mut self.rng, 0.0, self.config.offset_sd_pa) as f32;
@@ -148,15 +148,25 @@ impl SquiggleSimulator {
         let total_kmers = expected.len().max(1);
         for (i, &level) in expected.iter().enumerate() {
             let kmer_sd = 1.8f64; // typical per-k-mer spread; extra noise is added below
-            let dwell = geometric_dwell(&mut self.rng, self.config.samples_per_base, self.config.min_dwell);
+            let dwell = geometric_dwell(
+                &mut self.rng,
+                self.config.samples_per_base,
+                self.config.min_dwell,
+            );
             let drift = drift_total * i as f32 / total_kmers as f32;
             for _ in 0..dwell {
                 let noise_sd = (kmer_sd + self.config.extra_noise_pa).max(0.0);
                 let mut sample = normal(&mut self.rng, level as f64, noise_sd) as f32;
                 sample = sample * gain + offset + drift;
-                if self.config.spike_probability > 0.0 && self.rng.random_bool(self.config.spike_probability) {
+                if self.config.spike_probability > 0.0
+                    && self.rng.random_bool(self.config.spike_probability)
+                {
                     // Blockage/unblock artefacts saturate towards the rails.
-                    sample = if self.rng.random_bool(0.5) { 0.0 } else { 250.0 };
+                    sample = if self.rng.random_bool(0.5) {
+                        0.0
+                    } else {
+                        250.0
+                    };
                 }
                 picoamps.push(sample);
             }
@@ -187,7 +197,11 @@ mod tests {
     use sf_squiggle::signal::stats;
 
     fn simulator(seed: u64) -> SquiggleSimulator {
-        SquiggleSimulator::new(KmerModel::synthetic_r94(0), SquiggleSimulatorConfig::default(), seed)
+        SquiggleSimulator::new(
+            KmerModel::synthetic_r94(0),
+            SquiggleSimulatorConfig::default(),
+            seed,
+        )
     }
 
     #[test]
@@ -196,7 +210,10 @@ mod tests {
         let genome = random_genome(1, 3_000);
         let squiggle = sim.synthesize(&genome);
         let per_base = squiggle.len() as f64 / (genome.len() - 5) as f64;
-        assert!((per_base - SAMPLES_PER_BASE).abs() < 1.0, "samples/base {per_base}");
+        assert!(
+            (per_base - SAMPLES_PER_BASE).abs() < 1.0,
+            "samples/base {per_base}"
+        );
     }
 
     #[test]
@@ -216,7 +233,10 @@ mod tests {
             // Only kmer-model noise (sd 1.8 pA * 0 gain noise) remains plus
             // ADC resolution; noiseless config still uses the Gaussian with
             // sd = 1.8 + 0 = 1.8? No: extra_noise 0 -> sd = 1.8.
-            assert!((back - level).abs() < 10.0, "sample {back} vs level {level}");
+            assert!(
+                (back - level).abs() < 10.0,
+                "sample {back} vs level {level}"
+            );
         }
     }
 

@@ -12,8 +12,7 @@
 //! and after a sample differ significantly.
 
 /// One detected event: a run of consecutive samples with a stable level.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Event {
     /// Index of the first sample of the event.
     pub start: usize,
@@ -33,8 +32,7 @@ impl Event {
 }
 
 /// Configuration of the t-statistic event detector.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EventDetectorConfig {
     /// Length of the two comparison windows (samples).
     pub window: usize,

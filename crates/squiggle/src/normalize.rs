@@ -20,8 +20,7 @@ use crate::signal::stats;
 pub const FIXED_POINT_RANGE: f32 = 4.0;
 
 /// Statistic used as the denominator of the normalization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ScaleEstimator {
     /// Mean absolute deviation — cheap to compute in hardware (no square
     /// root); the estimator used by the accelerator.
@@ -33,8 +32,7 @@ pub enum ScaleEstimator {
 }
 
 /// Configuration of the normalization pipeline.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NormalizerConfig {
     /// Denominator statistic.
     pub scale: ScaleEstimator,
@@ -57,8 +55,7 @@ impl Default for NormalizerConfig {
 }
 
 /// Normalization parameters estimated from a calibration window.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct NormalizationParams {
     /// Estimated signal mean.
     pub shift: f32,
@@ -142,12 +139,20 @@ impl Normalizer {
 
     /// Normalizes and quantizes to the accelerator's signed 8-bit domain.
     pub fn normalize_raw_quantized(&self, signal: &[u16]) -> Vec<i8> {
-        self.normalize_raw(signal).iter().copied().map(quantize).collect()
+        self.normalize_raw(signal)
+            .iter()
+            .copied()
+            .map(quantize)
+            .collect()
     }
 
     /// Normalizes a floating-point signal and quantizes it.
     pub fn normalize_quantized(&self, signal: &[f32]) -> Vec<i8> {
-        self.normalize(signal).iter().copied().map(quantize).collect()
+        self.normalize(signal)
+            .iter()
+            .copied()
+            .map(quantize)
+            .collect()
     }
 }
 
@@ -208,7 +213,10 @@ mod tests {
             ..Default::default()
         })
         .estimate(&signal);
-        assert!(sd.scale > mad.scale, "std dev should exceed MAD for this signal");
+        assert!(
+            sd.scale > mad.scale,
+            "std dev should exceed MAD for this signal"
+        );
         assert_eq!(sd.shift, mad.shift);
     }
 

@@ -29,8 +29,7 @@ pub const SAMPLES_PER_BASE: f64 = DEFAULT_SAMPLE_RATE_HZ / DEFAULT_BASES_PER_SEC
 /// assert_eq!(raw.len(), 3);
 /// assert_eq!(raw.duration_seconds(), 3.0 / 4000.0);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RawSquiggle {
     samples: Vec<u16>,
     sample_rate_hz: f64,
@@ -39,7 +38,10 @@ pub struct RawSquiggle {
 impl RawSquiggle {
     /// Creates a raw squiggle from ADC samples.
     pub fn new(samples: Vec<u16>, sample_rate_hz: f64) -> Self {
-        RawSquiggle { samples, sample_rate_hz }
+        RawSquiggle {
+            samples,
+            sample_rate_hz,
+        }
     }
 
     /// The ADC samples.
@@ -97,8 +99,7 @@ impl RawSquiggle {
 }
 
 /// A squiggle converted to physical units (picoamperes).
-#[derive(Debug, Clone, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct PicoampSquiggle {
     samples: Vec<f32>,
 }
@@ -137,8 +138,7 @@ impl fmt::Display for PicoampSquiggle {
 }
 
 /// Summary statistics of a signal window.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct SignalStats {
     /// Arithmetic mean.
     pub mean: f64,

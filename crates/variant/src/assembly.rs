@@ -10,8 +10,7 @@ use sf_align::{banded_align, Mapper, MapperConfig, MappingStrand};
 use sf_genome::Sequence;
 
 /// Configuration of the assembly driver.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AssemblyConfig {
     /// Mapper configuration.
     pub mapper: MapperConfig,
@@ -104,8 +103,12 @@ impl Assembler {
             return false;
         };
         let reference = self.pileup.reference();
-        let window_start = mapping.reference_start.min(reference.len().saturating_sub(1));
-        let window_end = mapping.reference_end.clamp(window_start + 1, reference.len());
+        let window_start = mapping
+            .reference_start
+            .min(reference.len().saturating_sub(1));
+        let window_end = mapping
+            .reference_end
+            .clamp(window_start + 1, reference.len());
         let window = reference.subsequence(window_start, window_end);
         let oriented = match mapping.strand {
             MappingStrand::Forward => read.clone(),
@@ -121,9 +124,10 @@ impl Assembler {
     pub fn finish(self) -> AssemblyResult {
         AssemblyResult {
             consensus: self.pileup.consensus(),
-            variants: self
-                .pileup
-                .call_variants(self.config.min_variant_depth, self.config.min_allele_fraction),
+            variants: self.pileup.call_variants(
+                self.config.min_variant_depth,
+                self.config.min_allele_fraction,
+            ),
             mean_coverage: self.pileup.mean_coverage(),
             breadth: self.pileup.breadth_of_coverage(1),
             used_reads: self.used_reads,
@@ -146,7 +150,11 @@ mod tests {
         while start + read_length <= genome.len() {
             let read = genome.subsequence(start, start + read_length);
             // Alternate strands to exercise both orientations.
-            reads.push(if (start / step) % 2 == 0 { read } else { read.reverse_complement() });
+            reads.push(if (start / step) % 2 == 0 {
+                read
+            } else {
+                read.reverse_complement()
+            });
             start += step;
         }
         reads
@@ -157,21 +165,37 @@ mod tests {
         let reference = random_genome(11, 8_000);
         // The sequenced "strain" carries three SNPs relative to the reference.
         let mutations = vec![
-            Mutation::Substitution { position: 1_000, to: reference[1_000].rotate(1) },
-            Mutation::Substitution { position: 4_000, to: reference[4_000].rotate(2) },
-            Mutation::Substitution { position: 6_500, to: reference[6_500].rotate(3) },
+            Mutation::Substitution {
+                position: 1_000,
+                to: reference[1_000].rotate(1),
+            },
+            Mutation::Substitution {
+                position: 4_000,
+                to: reference[4_000].rotate(2),
+            },
+            Mutation::Substitution {
+                position: 6_500,
+                to: reference[6_500].rotate(3),
+            },
         ];
         let strain = apply(&reference, &mutations);
 
-        let mut assembler = Assembler::new(reference.clone(), AssemblyConfig {
-            min_variant_depth: 3,
-            ..Default::default()
-        });
+        let mut assembler = Assembler::new(
+            reference.clone(),
+            AssemblyConfig {
+                min_variant_depth: 3,
+                ..Default::default()
+            },
+        );
         for read in tiling_reads(&strain, 2_000, 500) {
             assert!(assembler.add_read(&read), "tiling read failed to map");
         }
         let result = assembler.finish();
-        assert!(result.mean_coverage > 3.0, "coverage {}", result.mean_coverage);
+        assert!(
+            result.mean_coverage > 3.0,
+            "coverage {}",
+            result.mean_coverage
+        );
         assert!(result.breadth > 0.99, "breadth {}", result.breadth);
         assert_eq!(result.unmapped_reads, 0);
 
@@ -189,10 +213,13 @@ mod tests {
     #[test]
     fn background_reads_are_discarded_without_affecting_consensus() {
         let reference = random_genome(12, 6_000);
-        let mut assembler = Assembler::new(reference.clone(), AssemblyConfig {
-            min_variant_depth: 2,
-            ..Default::default()
-        });
+        let mut assembler = Assembler::new(
+            reference.clone(),
+            AssemblyConfig {
+                min_variant_depth: 2,
+                ..Default::default()
+            },
+        );
         let mut unmapped = 0;
         for read in tiling_reads(&reference, 1_500, 400) {
             assembler.add_read(&read);
@@ -203,7 +230,10 @@ mod tests {
                 unmapped += 1;
             }
         }
-        assert!(unmapped >= 9, "only {unmapped} background reads were rejected");
+        assert!(
+            unmapped >= 9,
+            "only {unmapped} background reads were rejected"
+        );
         let result = assembler.finish();
         assert!(result.variants.is_empty());
         assert_eq!(result.consensus.mismatches(&reference), 0);
@@ -213,7 +243,10 @@ mod tests {
     #[test]
     fn coverage_target_tracking() {
         let reference = random_genome(13, 4_000);
-        let config = AssemblyConfig { target_coverage: 2.0, ..Default::default() };
+        let config = AssemblyConfig {
+            target_coverage: 2.0,
+            ..Default::default()
+        };
         let mut assembler = Assembler::new(reference.clone(), config);
         assert!(!assembler.coverage_reached());
         for read in tiling_reads(&reference, 2_000, 250) {

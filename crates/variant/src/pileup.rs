@@ -10,8 +10,7 @@
 use sf_genome::{Base, Sequence};
 
 /// Per-reference-position base counts.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PileupColumn {
     /// Counts of A, C, G, T observed at this position.
     pub counts: [u32; 4],
@@ -28,11 +27,7 @@ impl PileupColumn {
     /// The most frequent base, or `None` when there is no coverage or
     /// deletions dominate.
     pub fn consensus(&self) -> Option<Base> {
-        let (best, &count) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)?;
+        let (best, &count) = self.counts.iter().enumerate().max_by_key(|(_, &c)| c)?;
         if count == 0 || self.deletions > count {
             return None;
         }
@@ -41,8 +36,7 @@ impl PileupColumn {
 }
 
 /// A called single-nucleotide variant.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Variant {
     /// Reference position.
     pub position: usize,
@@ -107,7 +101,11 @@ impl Pileup {
         if self.columns.is_empty() {
             return 0.0;
         }
-        let covered = self.columns.iter().filter(|c| c.depth() >= min_depth).count();
+        let covered = self
+            .columns
+            .iter()
+            .filter(|c| c.depth() >= min_depth)
+            .count();
         covered as f64 / self.columns.len() as f64
     }
 
@@ -122,7 +120,11 @@ impl Pileup {
                 if column.depth() == 0 {
                     Some(self.reference[i])
                 } else {
-                    column.consensus().or(if column.deletions > 0 { None } else { Some(self.reference[i]) })
+                    column.consensus().or(if column.deletions > 0 {
+                        None
+                    } else {
+                        Some(self.reference[i])
+                    })
                 }
             })
             .collect()

@@ -23,12 +23,17 @@ fn main() {
     let config = SdtwConfig::hardware();
     let array = SystolicArray::new(config, 2_000);
     let run = array.classify(&query, &quantized);
-    let software = IntSdtw::new(config, quantized.clone()).align(&query).expect("non-empty query");
+    let software = IntSdtw::new(config, quantized.clone())
+        .align(&query)
+        .expect("non-empty query");
     println!(
         "systolic array: cost {} in {} cycles ({} PEs); software kernel cost {}",
         run.best.cost, run.cycles, run.active_pes, software.cost
     );
-    assert_eq!(run.best.cost, software.cost, "hardware and software must agree");
+    assert_eq!(
+        run.best.cost, software.cost,
+        "hardware and software must agree"
+    );
 
     // Tile-level latency/throughput for this reference.
     let tile = Tile::new(TileConfig::default(), quantized);

@@ -18,7 +18,7 @@ fn main() {
     let reference = ReferenceSquiggle::from_genome(&model, &dataset.target_genome);
 
     // Calibrate thresholds at 1000 and 5000 samples on half the data.
-    let mut costs = |prefix: usize| {
+    let costs = |prefix: usize| {
         let filter = SquiggleFilter::new(
             &reference,
             FilterConfig::hardware(f64::MAX).with_prefix_samples(prefix),
@@ -42,7 +42,9 @@ fn main() {
     let (t1000, b1000) = costs(1_000);
     let (t5000, b5000) = costs(5_000);
     // Early stage: permissive (keep ~99% of targets); late stage: max-F1.
-    let early = calibrate_threshold(&t1000, &b1000).threshold_for_tpr(0.99).unwrap();
+    let early = calibrate_threshold(&t1000, &b1000)
+        .threshold_for_tpr(0.99)
+        .unwrap();
     let late = calibrate_threshold(&t5000, &b5000).best_f1().unwrap();
     println!(
         "stage thresholds: early {:.0} (TPR {:.2}), late {:.0} (F1 {:.2})",

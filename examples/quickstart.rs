@@ -24,12 +24,18 @@ fn main() {
 
     // 2. Program the filter for the target genome (the "reference squiggle").
     let model = KmerModel::synthetic_r94(0);
-    let uncalibrated =
-        SquiggleFilter::from_genome(&model, &dataset.target_genome, FilterConfig::hardware(f64::MAX));
+    let uncalibrated = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(f64::MAX),
+    );
 
     // 3. Calibrate the cost threshold on a slice of the data.
-    let (calibration, evaluation): (Vec<_>, Vec<_>) =
-        dataset.reads.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+    let (calibration, evaluation): (Vec<_>, Vec<_>) = dataset
+        .reads
+        .iter()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
     let mut target_costs = Vec::new();
     let mut background_costs = Vec::new();
     for (_, item) in &calibration {

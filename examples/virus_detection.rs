@@ -55,11 +55,14 @@ fn main() {
         ReadSimulatorConfig::viral(),
         99,
     );
-    let mut assembler = Assembler::new(reference.clone(), AssemblyConfig {
-        min_variant_depth: 5,
-        target_coverage: 10.0,
-        ..Default::default()
-    });
+    let mut assembler = Assembler::new(
+        reference.clone(),
+        AssemblyConfig {
+            min_variant_depth: 5,
+            target_coverage: 10.0,
+            ..Default::default()
+        },
+    );
     let mut used = 0usize;
     while !assembler.coverage_reached() {
         let read = read_sim.next_read();
@@ -74,18 +77,29 @@ fn main() {
         result.mean_coverage,
         result.breadth * 100.0
     );
-    println!("called {} variants (expected {}):", result.variants.len(), circulating.substitution_count());
+    println!(
+        "called {} variants (expected {}):",
+        result.variants.len(),
+        circulating.substitution_count()
+    );
     for variant in result.variants.iter().take(5) {
         println!(
             "  pos {:>6}  {} -> {}  depth {:>3}  AF {:.2}",
-            variant.position, variant.reference, variant.alternate, variant.depth, variant.allele_fraction
+            variant.position,
+            variant.reference,
+            variant.alternate,
+            variant.depth,
+            variant.allele_fraction
         );
     }
     let recovered = result
         .variants
         .iter()
         .filter(|v| {
-            circulating.mutations.iter().any(|m| m.position() == v.position)
+            circulating
+                .mutations
+                .iter()
+                .any(|m| m.position() == v.position)
         })
         .count();
     println!(

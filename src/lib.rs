@@ -64,7 +64,8 @@ pub mod prelude {
     pub use sf_pore_model::{KmerModel, ReferenceSquiggle};
     pub use sf_readuntil::{ClassifierPoint, RuntimeModel, SequencingParams};
     pub use sf_sdtw::{
-        FilterConfig, FilterVerdict, MultiStageConfig, MultiStageFilter, SdtwConfig, SquiggleFilter,
+        BatchClassifier, BatchConfig, BatchReport, FilterConfig, FilterVerdict, MultiStageConfig,
+        MultiStageFilter, SdtwConfig, SquiggleFilter,
     };
     pub use sf_sim::{DatasetBuilder, FlowCellConfig, FlowCellSimulator, ReadUntilPolicy};
     pub use sf_squiggle::{Normalizer, RawSquiggle};

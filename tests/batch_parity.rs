@@ -1,0 +1,102 @@
+//! Integration parity test: the multi-threaded `BatchClassifier` must produce
+//! exactly the verdicts of the sequential `SquiggleFilter::classify` loop.
+
+use squigglefilter::metrics::ConfusionMatrix;
+use squigglefilter::prelude::*;
+use squigglefilter::sdtw::Classification;
+use squigglefilter::sim::Dataset;
+use squigglefilter::squiggle::RawSquiggle;
+
+/// 200 simulated reads (100 target / 100 background) over a 6 kb genome —
+/// big enough to span many self-scheduled shards, small enough for debug CI.
+fn dataset_200() -> Dataset {
+    let genome = squigglefilter::genome::random::random_genome(2024, 6_000);
+    DatasetBuilder::new("batch-parity", genome, 2024)
+        .target_reads(100)
+        .background_reads(100)
+        .background_length(150_000)
+        .build()
+}
+
+#[test]
+fn batch_classifier_matches_sequential_loop() {
+    let dataset = dataset_200();
+    let model = KmerModel::synthetic_r94(0);
+    let filter = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(60_000.0),
+    );
+
+    let squiggles: Vec<RawSquiggle> = dataset.reads.iter().map(|r| r.squiggle.clone()).collect();
+    let labels: Vec<bool> = dataset.reads.iter().map(|r| r.is_target()).collect();
+
+    // The sequential reference path.
+    let sequential: Vec<Classification> = squiggles.iter().map(|s| filter.classify(s)).collect();
+    let mut sequential_confusion = ConfusionMatrix::new();
+    for (c, &label) in sequential.iter().zip(&labels) {
+        sequential_confusion.record(label, c.verdict.is_accept());
+    }
+
+    // Two adversarial thread/chunk shapes: more threads than this machine has
+    // cores with a chunk size that does not divide 200, and oversubscribed
+    // single-read chunks. (Each pass costs ~35 s of sDTW in debug CI, so the
+    // shape list is kept minimal; unit tests in sf-sdtw cover more shapes on
+    // a smaller dataset.)
+    for (threads, chunk) in [(4, 7), (8, 1)] {
+        let batch = BatchClassifier::new(
+            filter.clone(),
+            BatchConfig::with_threads(threads).chunk_size(chunk),
+        );
+        let report = batch.classify_labelled(&squiggles, &labels);
+        assert_eq!(report.classifications.len(), sequential.len());
+        assert!(report.threads_used <= threads);
+        for (i, (got, want)) in report.classifications.iter().zip(&sequential).enumerate() {
+            assert_eq!(
+                got.verdict, want.verdict,
+                "read {i} (threads {threads}, chunk {chunk})"
+            );
+            assert_eq!(
+                got.result, want.result,
+                "read {i} (threads {threads}, chunk {chunk})"
+            );
+        }
+        assert_eq!(
+            report.confusion, sequential_confusion,
+            "threads {threads}, chunk {chunk}"
+        );
+        assert_eq!(report.confusion.total(), 200);
+    }
+}
+
+#[test]
+fn batch_classifier_is_deterministic_across_runs() {
+    let dataset = dataset_200();
+    let model = KmerModel::synthetic_r94(0);
+    let filter = SquiggleFilter::from_genome(
+        &model,
+        &dataset.target_genome,
+        FilterConfig::hardware(60_000.0),
+    );
+    // Determinism does not need the full 200 reads; a 60-read slice keeps the
+    // two extra classification passes cheap in debug CI.
+    let squiggles: Vec<RawSquiggle> = dataset
+        .reads
+        .iter()
+        .take(60)
+        .map(|r| r.squiggle.clone())
+        .collect();
+
+    let batch = BatchClassifier::new(filter, BatchConfig::with_threads(4));
+    let first: Vec<FilterVerdict> = batch
+        .classify_batch(&squiggles)
+        .into_iter()
+        .map(|c| c.verdict)
+        .collect();
+    let second: Vec<FilterVerdict> = batch
+        .classify_batch(&squiggles)
+        .into_iter()
+        .map(|c| c.verdict)
+        .collect();
+    assert_eq!(first, second);
+}

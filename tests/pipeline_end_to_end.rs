@@ -2,9 +2,9 @@
 //! map → assemble → call variants, plus hardware/software equivalence on
 //! simulated reads.
 
-use squigglefilter::prelude::*;
 use squigglefilter::genome::strain::simulate_table2_strains;
 use squigglefilter::hw::SystolicArray;
+use squigglefilter::prelude::*;
 use squigglefilter::sdtw::IntSdtw;
 use squigglefilter::sim::read::{ReadOrigin, ReadSimulator, ReadSimulatorConfig};
 
@@ -33,7 +33,10 @@ fn hardware_and_software_agree_on_simulated_reads() {
         let query = normalizer.normalize_raw_quantized(prefix.samples());
         let hw = array.classify(&query, &quantized);
         let sw = kernel.align(&query).expect("non-empty query");
-        assert_eq!(hw.best.cost, sw.cost, "hardware and software kernels must agree");
+        assert_eq!(
+            hw.best.cost, sw.cost,
+            "hardware and software kernels must agree"
+        );
     }
 }
 
@@ -61,7 +64,11 @@ fn enriched_reads_assemble_the_strain_genome() {
         reference.clone(),
         AssemblyConfig {
             min_variant_depth: 4,
-            target_coverage: 8.0,
+            // 12x mean coverage: at 8x, random read placement routinely
+            // leaves a few of the 17 SNP positions under the 4-read depth
+            // floor, which is read-placement luck rather than a pipeline
+            // property.
+            target_coverage: 12.0,
             ..Default::default()
         },
     );
@@ -72,7 +79,11 @@ fn enriched_reads_assemble_the_strain_genome() {
         attempts += 1;
     }
     let result = assembler.finish();
-    assert!(result.mean_coverage >= 8.0, "coverage {}", result.mean_coverage);
+    assert!(
+        result.mean_coverage >= 8.0,
+        "coverage {}",
+        result.mean_coverage
+    );
     assert!(result.breadth > 0.97, "breadth {}", result.breadth);
 
     // Most of the 17 strain SNPs should be recovered (positions near the

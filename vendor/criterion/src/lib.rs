@@ -1,0 +1,342 @@
+//! Offline minimal stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the API subset used by `crates/bench/benches/*`: benchmark
+//! groups, per-bench throughput annotations, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is deliberately
+//! simple — warm up, pick an iteration count that fills a fixed time budget,
+//! report mean wall-clock time (and derived throughput) per iteration.
+//!
+//! The two execution modes mirror upstream behaviour closely enough for CI:
+//!
+//! * `cargo bench` — full measurement, one summary line per benchmark.
+//! * `--test` (as passed by `cargo test --benches`) — each benchmark body
+//!   runs exactly once so the harness stays fast and still catches panics.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget each benchmark's measurement loop aims to fill.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Upper bound on timed iterations, so trivially cheap bodies terminate.
+const MAX_ITERS: u64 = 100_000;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A hierarchical benchmark name, `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter display value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so bench methods accept both strings and
+/// structured ids.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing driver handed to each benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean wall-clock time per iteration from the measured loop.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`: warm-up call, then a timed loop sized to the
+    /// measurement budget. In `--test` mode the routine runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        let warmup_start = Instant::now();
+        std::hint::black_box(routine());
+        let single = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (MEASURE_BUDGET.as_nanos() / single.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+/// A named group of related benchmarks sharing display settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for upstream compatibility; the shim's loop is budget-driven,
+    /// so the requested sample count does not change measurement.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut routine: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&full, self.throughput, |b| routine(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut routine: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (upstream writes summary artifacts here; the shim's
+    /// reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies harness command-line arguments (`--test`, name filters);
+    /// unrecognized flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                self.test_mode = true;
+            } else if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        self.run_one(name, None, |b| routine(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut routine: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            mean: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+            return;
+        }
+        let mut line = format!("{name:<60} time: {}", format_duration(bencher.mean));
+        if let Some(tp) = throughput {
+            let per_second = |count: u64| {
+                let secs = bencher.mean.as_secs_f64();
+                if secs > 0.0 {
+                    count as f64 / secs
+                } else {
+                    f64::INFINITY
+                }
+            };
+            match tp {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  thrpt: {} elem/s", format_rate(per_second(n)));
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "  thrpt: {} B/s", format_rate(per_second(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Upstream prints a final comparison summary; the shim has none.
+    pub fn final_summary(&self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Declares a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark targets in declaration order.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("int8", "vanilla").id, "int8/vanilla");
+        assert_eq!(BenchmarkId::from_parameter(2000).id, "2000");
+    }
+
+    #[test]
+    fn bencher_runs_routine_in_both_modes() {
+        for test_mode in [true, false] {
+            let mut bencher = Bencher {
+                test_mode,
+                mean: Duration::ZERO,
+            };
+            let mut calls = 0u64;
+            bencher.iter(|| calls += 1);
+            assert!(calls >= 1);
+        }
+    }
+
+    #[test]
+    fn groups_filter_and_report() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".to_string()),
+        };
+        let mut ran = Vec::new();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10)).sample_size(5);
+        group.bench_function("keep_me", |b| b.iter(|| ran.push("keep")));
+        group.finish();
+        // Borrow of `ran` ends with the group; a second group checks the filter.
+        let mut group = c.benchmark_group("g");
+        group.bench_function("skip_me", |b| b.iter(|| ran.push("skip")));
+        group.finish();
+        assert_eq!(ran, vec!["keep"]);
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.500 ms");
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+        assert!(format_rate(2.5e6).ends_with('M'));
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the subset of the `rand 0.9`-era API the workspace actually uses is
+//! implemented here directly: a seedable [`rngs::StdRng`], the [`RngExt`]
+//! extension trait (`random`, `random_range`, `random_bool`) and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic for a
+//! given seed, statistically solid for simulation workloads, and *not*
+//! cryptographically secure (neither is the upstream `StdRng` contract this
+//! workspace relies on: reproducible simulated datasets).
+
+#![warn(missing_docs)]
+
+/// A source of random 64-bit words; every generator implements this.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose full state is derived from `state` via
+    /// SplitMix64, matching the upstream convenience constructor.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled from the "standard" distribution of the
+/// upstream crate: uniform over all values for integers, uniform in
+/// `[0, 1)` for floats.
+pub trait StandardUniform: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types usable as [`RngExt::random_range`] endpoints.
+pub trait UniformInt: Copy + PartialOrd + StandardUniform {
+    /// Uniform sample in `[low, low + span)`; `span == 0` means the full
+    /// 2^64-value domain.
+    fn sample_span<R: RngCore + ?Sized>(rng: &mut R, low: Self, span: u64) -> Self;
+
+    /// Width of `low..high` as an unsigned count.
+    fn width(low: Self, high: Self) -> u64;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_span<R: RngCore + ?Sized>(rng: &mut R, low: Self, span: u64) -> Self {
+                if span == 0 {
+                    return Self::sample(rng);
+                }
+                // Multiply-shift maps 64 random bits onto [0, span) with
+                // negligible (2^-64-scale) bias — plenty for simulation.
+                let offset = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(offset as $t)
+            }
+
+            fn width(low: Self, high: Self) -> u64 {
+                (high as u64).wrapping_sub(low as u64)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Argument forms accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_span(rng, self.start, T::width(self.start, self.end))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        // Wrapping width + 1: the full-domain case wraps to 0, which
+        // `sample_span` interprets as "all 2^64 values".
+        T::sample_span(rng, low, T::width(low, high).wrapping_add(1))
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws one value from the standard distribution (uniform `[0, 1)` for
+    /// floats, uniform over all values for integers).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws one value uniformly from `range` (`a..b` or `a..=b`).
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// The workspace's standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the deterministic, seedable workhorse generator.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let s2 = s2 ^ s0;
+            let s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            let s2 = s2 ^ t;
+            let s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers (`shuffle`).
+pub mod seq {
+    use super::RngExt;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngExt + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_words(), b.next_words());
+        }
+    }
+
+    impl StdRng {
+        fn next_words(&mut self) -> (u64, f64) {
+            (self.random::<u64>(), self.random::<f64>())
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_all_values_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            let v: usize = rng.random_range(0..4);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v: usize = rng.random_range(3..=5);
+            assert!((3..=5).contains(&v));
+        }
+        assert_eq!(rng.random_range(2..=2), 2usize);
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut values: Vec<usize> = (0..50).collect();
+        values.shuffle(&mut rng);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(values, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the no-op derives from the in-tree `serde_derive` and declares
+//! the two marker traits so `use serde::Serialize` keeps resolving. See
+//! `vendor/serde_derive` for the rationale.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the offline shim).
+pub trait SerializeMarker {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the offline shim).
+pub trait DeserializeMarker {}

@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace's types carry `#[derive(serde::Serialize, serde::Deserialize)]`
+//! attributes as documentation of intent, but nothing in-tree serializes yet
+//! and the build environment cannot reach crates.io. These derives therefore
+//! expand to nothing; swapping the real `serde`/`serde_derive` back in is a
+//! two-line change in `vendor/serde`'s manifest once a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
