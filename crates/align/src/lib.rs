@@ -9,7 +9,10 @@
 //! * [`mapper`] — seed chaining, banded extension alignment and read
 //!   classification (the minimap2 stand-in),
 //! * [`fm`] — an FM-index plus a simplified UNCALLED-style event classifier
-//!   (the related-work baseline of §8).
+//!   (the related-work baseline of §8),
+//! * [`classifier`] — the basecall-and-map pipeline behind the streaming
+//!   `sf_sdtw::ReadClassifier` trait, so the baseline is drivable by every
+//!   consumer that drives the sDTW filters.
 //!
 //! # Example
 //!
@@ -26,10 +29,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod classifier;
 pub mod fm;
 pub mod mapper;
 pub mod minimizer;
 
+pub use classifier::{MapperClassifier, MapperClassifierConfig, MapperSession};
 pub use fm::{FmIndex, UncalledClassifier, UncalledConfig};
 pub use mapper::{banded_align, Mapper, MapperConfig, Mapping, MappingStrand};
 pub use minimizer::{minimizers, Minimizer, MinimizerIndex, MinimizerParams};

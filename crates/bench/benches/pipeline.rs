@@ -32,7 +32,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 );
                 b.iter(|| {
                     for squiggle in &squiggles {
-                        black_box(filter.classify(black_box(squiggle)));
+                        let _ = black_box(filter.classify(black_box(squiggle)));
                     }
                 });
             },

@@ -11,6 +11,12 @@
 //! mirroring how the paper's multi-tile accelerator aggregates per-tile
 //! verdicts (§4.8).
 //!
+//! The engine is generic over any [`ReadClassifier`]: the single-stage
+//! [`SquiggleFilter`], the [`crate::MultiStageFilter`], or the
+//! basecall-and-map baseline all batch the same way. Each read streams
+//! through its own session, so sound early exits (most rejects fire before
+//! the full prefix) shorten the per-read work without changing any verdict.
+//!
 //! The pool is implemented on `std::thread::scope`, which makes the engine
 //! dependency-free; the chunk queue gives the same dynamic load balancing a
 //! rayon `par_chunks` would, and the API is shaped so the internals can be
@@ -22,7 +28,8 @@ use std::sync::Mutex;
 use sf_metrics::ConfusionMatrix;
 use sf_squiggle::RawSquiggle;
 
-use crate::filter::{Classification, SquiggleFilter};
+use crate::classifier::{ReadClassifier, StreamClassification};
+use crate::filter::SquiggleFilter;
 
 /// Sharding configuration for a [`BatchClassifier`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +45,7 @@ pub struct BatchConfig {
 
 impl BatchConfig {
     /// `num_threads` workers with the default chunk size.
+    #[must_use]
     pub fn with_threads(num_threads: usize) -> Self {
         BatchConfig {
             num_threads,
@@ -46,6 +54,7 @@ impl BatchConfig {
     }
 
     /// Sets the self-scheduled chunk size (clamped to at least 1 read).
+    #[must_use]
     pub fn chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1);
         self
@@ -65,7 +74,7 @@ impl Default for BatchConfig {
 #[derive(Debug, Clone)]
 pub struct BatchReport {
     /// Per-read outcomes, in input order.
-    pub classifications: Vec<Classification>,
+    pub classifications: Vec<StreamClassification>,
     /// Aggregate of the per-shard confusion matrices.
     pub confusion: ConfusionMatrix,
     /// Worker threads the batch actually ran on.
@@ -74,7 +83,7 @@ pub struct BatchReport {
     pub shards: usize,
 }
 
-/// A [`SquiggleFilter`] lifted to whole batches of reads.
+/// Any [`ReadClassifier`] lifted to whole batches of reads.
 ///
 /// # Examples
 ///
@@ -95,8 +104,8 @@ pub struct BatchReport {
 /// assert_eq!(verdicts.len(), 4);
 /// ```
 #[derive(Debug)]
-pub struct BatchClassifier {
-    filter: SquiggleFilter,
+pub struct BatchClassifier<C: ReadClassifier + Sync = SquiggleFilter> {
+    classifier: C,
     config: BatchConfig,
 }
 
@@ -105,18 +114,18 @@ pub struct BatchClassifier {
 struct Shard<'a> {
     reads: &'a [RawSquiggle],
     labels: Option<&'a [bool]>,
-    out: &'a mut [Option<Classification>],
+    out: &'a mut [Option<StreamClassification>],
 }
 
-impl BatchClassifier {
-    /// Wraps `filter` for batched execution under `config`.
-    pub fn new(filter: SquiggleFilter, config: BatchConfig) -> Self {
-        BatchClassifier { filter, config }
+impl<C: ReadClassifier + Sync> BatchClassifier<C> {
+    /// Wraps `classifier` for batched execution under `config`.
+    pub fn new(classifier: C, config: BatchConfig) -> Self {
+        BatchClassifier { classifier, config }
     }
 
-    /// The wrapped single-read filter.
-    pub fn filter(&self) -> &SquiggleFilter {
-        &self.filter
+    /// The wrapped single-read classifier.
+    pub fn classifier(&self) -> &C {
+        &self.classifier
     }
 
     /// The sharding configuration.
@@ -136,9 +145,9 @@ impl BatchClassifier {
 
     /// Classifies every read, preserving input order.
     ///
-    /// Verdict-equivalent to calling [`SquiggleFilter::classify`] in a loop —
-    /// sharding never changes a verdict, only wall-clock time.
-    pub fn classify_batch(&self, reads: &[RawSquiggle]) -> Vec<Classification> {
+    /// Verdict-equivalent to calling [`ReadClassifier::classify_stream`] in a
+    /// loop — sharding never changes a verdict, only wall-clock time.
+    pub fn classify_batch(&self, reads: &[RawSquiggle]) -> Vec<StreamClassification> {
         self.run(reads, None).classifications
     }
 
@@ -165,7 +174,7 @@ impl BatchClassifier {
             .min(reads.len().div_ceil(chunk))
             .max(1);
 
-        let mut out: Vec<Option<Classification>> = vec![None; reads.len()];
+        let mut out: Vec<Option<StreamClassification>> = vec![None; reads.len()];
         let shards: Vec<Shard<'_>> = {
             let mut label_chunks = labels.map(|l| l.chunks(chunk));
             reads
@@ -198,7 +207,7 @@ impl BatchClassifier {
                         let next = queue.lock().expect("shard queue").pop_front();
                         let Some(shard) = next else { break };
                         for (i, read) in shard.reads.iter().enumerate() {
-                            let classification = self.filter.classify(read);
+                            let classification = self.classifier.classify_stream(read);
                             if let Some(labels) = shard.labels {
                                 local.record(labels[i], classification.verdict.is_accept());
                             }
@@ -226,8 +235,9 @@ impl BatchClassifier {
 mod tests {
     use super::*;
     use crate::filter::FilterConfig;
+    use crate::multistage::{MultiStageConfig, MultiStageFilter};
     use sf_genome::random::random_genome;
-    use sf_pore_model::KmerModel;
+    use sf_pore_model::{KmerModel, ReferenceSquiggle};
 
     fn small_classifier(threads: usize) -> BatchClassifier {
         let model = KmerModel::synthetic_r94(0);
@@ -254,9 +264,10 @@ mod tests {
         let parallel = batch.classify_batch(&reads);
         assert_eq!(parallel.len(), reads.len());
         for (read, got) in reads.iter().zip(&parallel) {
-            let want = batch.filter().classify(read);
+            let want = batch.classifier().classify_stream(read);
             assert_eq!(want.verdict, got.verdict);
             assert_eq!(want.result, got.result);
+            assert_eq!(want.samples_consumed, got.samples_consumed);
         }
     }
 
@@ -272,7 +283,10 @@ mod tests {
         // The merged matrix must agree with rescoring sequentially.
         let mut sequential = ConfusionMatrix::new();
         for (read, &label) in reads.iter().zip(&labels) {
-            sequential.record(label, batch.filter().classify(read).verdict.is_accept());
+            sequential.record(
+                label,
+                batch.classifier().classify_stream(read).verdict.is_accept(),
+            );
         }
         assert_eq!(report.confusion, sequential);
     }
@@ -310,6 +324,37 @@ mod tests {
         assert!(batch.resolved_threads() >= 1);
         let reads = synthetic_reads(5);
         assert_eq!(batch.classify_batch(&reads).len(), 5);
+    }
+
+    #[test]
+    fn multistage_filter_batches_through_the_trait() {
+        let model = KmerModel::synthetic_r94(0);
+        let genome = random_genome(5, 800);
+        let reference = ReferenceSquiggle::from_genome(&model, &genome);
+        let staged = MultiStageFilter::new(
+            &reference,
+            MultiStageConfig {
+                stages: vec![
+                    crate::multistage::Stage {
+                        prefix_samples: 200,
+                        threshold: 20_000.0,
+                    },
+                    crate::multistage::Stage {
+                        prefix_samples: 400,
+                        threshold: 40_000.0,
+                    },
+                ],
+                ..MultiStageConfig::two_stage(0.0, 0.0)
+            },
+        );
+        let reads = synthetic_reads(10);
+        let batch = BatchClassifier::new(staged, BatchConfig::with_threads(2).chunk_size(2));
+        let parallel = batch.classify_batch(&reads);
+        for (read, got) in reads.iter().zip(&parallel) {
+            let want = batch.classifier().classify_stream(read);
+            assert_eq!(want.verdict, got.verdict);
+            assert_eq!(want.result, got.result);
+        }
     }
 
     #[test]

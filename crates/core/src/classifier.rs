@@ -1,0 +1,277 @@
+//! Streaming chunk-wise read classification — the Read Until decision loop.
+//!
+//! The whole point of SquiggleFilter is that the eject-or-keep decision is
+//! made *online*, while raw-signal chunks are still streaming off the pore.
+//! This module defines the interface every classifier in the workspace speaks:
+//!
+//! * [`ReadClassifier::start_read`] opens a [`ClassifierSession`] for one read,
+//! * [`ClassifierSession::push_chunk`] feeds the next chunk of raw ADC samples
+//!   and returns a three-way [`Decision`]: [`Decision::Accept`],
+//!   [`Decision::Reject`], or [`Decision::Wait`] (more signal needed),
+//! * [`ClassifierSession::finalize`] resolves a still-waiting session (e.g.
+//!   when the read ends early) into a [`StreamClassification`] whose
+//!   [`FilterVerdict`] is the binary resolved form.
+//!
+//! Implementors: [`crate::SquiggleFilter`] (single-stage sDTW with a sound
+//! early-reject bound), [`crate::MultiStageFilter`] (stage escalation as
+//! chunks accumulate), and `sf_align::MapperClassifier` (the basecall-and-map
+//! baseline). Consumers: [`crate::BatchClassifier`] (generic over any
+//! `ReadClassifier`), `sf_sim::FlowCellSimulator` (chunk-by-chunk ejection)
+//! and `sf_readuntil::ClassifierPoint::from_session_stats` (measured
+//! samples-to-decision distributions for the runtime model).
+
+use crate::filter::FilterVerdict;
+use crate::result::SdtwResult;
+use sf_squiggle::RawSquiggle;
+
+/// Chunk-wise Read Until decision for an in-progress read.
+///
+/// Unlike the binary [`FilterVerdict`], a streaming decision has a third
+/// state: the classifier may not have seen enough signal yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[must_use = "an unobserved Reject never reaches the sequencer; match on the decision or check is_final()"]
+pub enum Decision {
+    /// The read matches the target: keep sequencing it.
+    Accept,
+    /// The read does not match: instruct the sequencer to eject it.
+    Reject,
+    /// Not enough signal yet — push more chunks (or finalize).
+    Wait,
+}
+
+impl Decision {
+    /// `true` once the session has committed to [`Decision::Accept`] or
+    /// [`Decision::Reject`]; pushing further chunks is then a no-op.
+    pub fn is_final(self) -> bool {
+        self != Decision::Wait
+    }
+
+    /// The resolved verdict, or `None` while the session is still waiting.
+    pub fn verdict(self) -> Option<FilterVerdict> {
+        match self {
+            Decision::Accept => Some(FilterVerdict::Accept),
+            Decision::Reject => Some(FilterVerdict::Reject),
+            Decision::Wait => None,
+        }
+    }
+}
+
+impl From<FilterVerdict> for Decision {
+    fn from(verdict: FilterVerdict) -> Self {
+        match verdict {
+            FilterVerdict::Accept => Decision::Accept,
+            FilterVerdict::Reject => Decision::Reject,
+        }
+    }
+}
+
+/// The resolved outcome of a finished streaming session.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[must_use]
+pub struct StreamClassification {
+    /// The binary resolved verdict ([`Decision::Wait`] never survives
+    /// [`ClassifierSession::finalize`]).
+    pub verdict: FilterVerdict,
+    /// Classifier-specific decision score: the sDTW alignment cost for the
+    /// filter implementations, the chain score for the mapper baseline.
+    pub score: f64,
+    /// Alignment detail at decision time, when the classifier is sDTW-based.
+    pub result: Option<SdtwResult>,
+    /// Raw samples the classifier consumed before deciding — what determines
+    /// how much sequencing time the decision cost.
+    pub samples_consumed: usize,
+    /// `true` when the decision fired before the classifier's sample budget
+    /// ([`ReadClassifier::max_decision_samples`]) was exhausted.
+    pub decided_early: bool,
+}
+
+/// An in-progress streaming classification of one read.
+///
+/// Sessions are cheap to create (one per read) and hold the classifier's
+/// incremental state: buffered calibration samples, a partially-filled DP row,
+/// or a growing basecall buffer. After a final decision further chunks are
+/// ignored and [`ClassifierSession::push_chunk`] keeps returning the same
+/// decision.
+pub trait ClassifierSession {
+    /// Feeds the next chunk of raw ADC samples, returning the current
+    /// decision. Chunk boundaries never affect the outcome: any chunking of
+    /// the same sample stream yields the same decisions at the same sample
+    /// counts.
+    fn push_chunk(&mut self, chunk: &[u16]) -> Decision;
+
+    /// The current decision without pushing any samples.
+    fn decision(&self) -> Decision;
+
+    /// Raw samples consumed so far (clamped to the classifier's budget).
+    fn samples_consumed(&self) -> usize;
+
+    /// Resolves the session into a final classification. If the decision is
+    /// still [`Decision::Wait`] (the read ended before the sample budget was
+    /// reached) the classifier decides on whatever it has seen, matching the
+    /// one-shot path on the same prefix. The session is spent afterwards.
+    fn finalize(&mut self) -> StreamClassification;
+}
+
+/// A classifier that makes chunk-wise Accept/Reject/Wait decisions on
+/// streaming raw signal.
+///
+/// The trait is object-safe: consumers that must be classifier-agnostic at
+/// runtime (the flow-cell simulator's Read Until policy) hold a
+/// `Box<dyn ReadClassifier>`.
+pub trait ReadClassifier {
+    /// Opens a streaming session for one read.
+    fn start_read(&self) -> Box<dyn ClassifierSession + '_>;
+
+    /// Upper bound on the raw samples a session consumes before committing to
+    /// a decision (the decision prefix). Drivers use it to size signal
+    /// buffers and to convert decisions into sequencing time.
+    fn max_decision_samples(&self) -> usize;
+
+    /// Convenience: streams an entire squiggle through a fresh session and
+    /// finalizes it. Equivalent to any chunked feeding of the same samples.
+    fn classify_stream(&self, squiggle: &RawSquiggle) -> StreamClassification {
+        let mut session = self.start_read();
+        let _ = session.push_chunk(squiggle.samples());
+        session.finalize()
+    }
+}
+
+impl<T: ReadClassifier + ?Sized> ReadClassifier for &T {
+    fn start_read(&self) -> Box<dyn ClassifierSession + '_> {
+        (**self).start_read()
+    }
+
+    fn max_decision_samples(&self) -> usize {
+        (**self).max_decision_samples()
+    }
+}
+
+/// Shared scaffolding of the sDTW streaming sessions: buffers raw samples
+/// until the normalizer's calibration window fills, freezes the
+/// normalization parameters, and from then on feeds normalized samples to
+/// the session's per-sample sink (which returns `true` to stop after a
+/// final decision). Keeping this logic in one place keeps the single-stage
+/// and multi-stage sessions bit-identical in how they normalize — the
+/// property the streaming/one-shot parity tests pin down.
+#[derive(Debug, Clone)]
+pub(crate) struct CalibratingFeed {
+    /// Raw samples buffered before the calibration window fills.
+    pending: Vec<u16>,
+    /// Normalization parameters, frozen once calibrated.
+    params: Option<sf_squiggle::normalize::NormalizationParams>,
+    /// Raw samples accepted so far (never exceeds `budget`).
+    received: usize,
+    /// Raw samples needed before parameters can be estimated.
+    calibration_point: usize,
+    /// Maximum raw samples the session will ever accept.
+    budget: usize,
+    /// Outlier clip applied after normalization.
+    clip: f32,
+}
+
+impl CalibratingFeed {
+    pub(crate) fn new(calibration_point: usize, budget: usize, clip: f32) -> Self {
+        CalibratingFeed {
+            pending: Vec::new(),
+            params: None,
+            received: 0,
+            calibration_point: calibration_point.min(budget),
+            budget,
+            clip,
+        }
+    }
+
+    /// Raw samples accepted so far.
+    pub(crate) fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Raw-sample count at which a decision made at DP row `n` became
+    /// available: never before the calibration window filled, and never more
+    /// samples than the read actually delivered.
+    pub(crate) fn decision_point(&self, n: usize) -> usize {
+        n.max(self.calibration_point).min(self.received)
+    }
+
+    /// Accepts a chunk (clipped to the remaining budget). Once the
+    /// calibration window fills, drains the buffer and all further samples
+    /// through `sink`.
+    pub(crate) fn push(
+        &mut self,
+        normalizer: &sf_squiggle::Normalizer,
+        chunk: &[u16],
+        sink: &mut dyn FnMut(f32) -> bool,
+    ) {
+        let take = &chunk[..chunk.len().min(self.budget - self.received)];
+        self.received += take.len();
+        match self.params {
+            None => {
+                self.pending.extend_from_slice(take);
+                if self.pending.len() >= self.calibration_point {
+                    self.calibrate(normalizer, sink);
+                }
+            }
+            Some(params) => Self::feed(params, self.clip, take, sink),
+        }
+    }
+
+    /// End-of-read: calibrates on whatever is buffered, exactly like the
+    /// one-shot path does on a short prefix.
+    pub(crate) fn flush(
+        &mut self,
+        normalizer: &sf_squiggle::Normalizer,
+        sink: &mut dyn FnMut(f32) -> bool,
+    ) {
+        if self.params.is_none() && !self.pending.is_empty() {
+            self.calibrate(normalizer, sink);
+        }
+    }
+
+    fn calibrate(
+        &mut self,
+        normalizer: &sf_squiggle::Normalizer,
+        sink: &mut dyn FnMut(f32) -> bool,
+    ) {
+        let params = normalizer.estimate(&self.pending);
+        self.params = Some(params);
+        let buffered = std::mem::take(&mut self.pending);
+        Self::feed(params, self.clip, &buffered, sink);
+    }
+
+    fn feed(
+        params: sf_squiggle::normalize::NormalizationParams,
+        clip: f32,
+        raw: &[u16],
+        sink: &mut dyn FnMut(f32) -> bool,
+    ) {
+        for &sample in raw {
+            // The shared per-sample formula keeps streaming bit-identical to
+            // the one-shot path.
+            if sink(params.apply(sample as f32, clip)) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_finality_and_verdicts() {
+        assert!(Decision::Accept.is_final());
+        assert!(Decision::Reject.is_final());
+        assert!(!Decision::Wait.is_final());
+        assert_eq!(Decision::Accept.verdict(), Some(FilterVerdict::Accept));
+        assert_eq!(Decision::Reject.verdict(), Some(FilterVerdict::Reject));
+        assert_eq!(Decision::Wait.verdict(), None);
+    }
+
+    #[test]
+    fn verdict_round_trips_through_decision() {
+        for verdict in [FilterVerdict::Accept, FilterVerdict::Reject] {
+            assert_eq!(Decision::from(verdict).verdict(), Some(verdict));
+        }
+    }
+}

@@ -126,21 +126,52 @@ impl SdtwConfig {
     }
 
     /// Sets the distance metric.
+    #[must_use]
     pub fn with_distance(mut self, distance: DistanceMetric) -> Self {
         self.distance = distance;
         self
     }
 
     /// Enables or disables reference deletions.
+    #[must_use]
     pub fn with_reference_deletions(mut self, allow: bool) -> Self {
         self.allow_reference_deletion = allow;
         self
     }
 
     /// Sets (or clears) the match bonus.
+    #[must_use]
     pub fn with_match_bonus(mut self, bonus: Option<MatchBonus>) -> Self {
         self.match_bonus = bonus;
         self
+    }
+
+    /// Upper bound on how much the best (minimum) alignment cost over the DP
+    /// row can still *decrease* after `remaining_samples` more query samples.
+    ///
+    /// Without a match bonus every transition adds a non-negative distance,
+    /// so the row minimum never decreases and the slack is zero. With a
+    /// bonus, consider the potential `Φ(n) = min_j (row[j] - B(dwell[j]))`
+    /// where `B(w) = bonus_per_sample * min(w, dwell_cap)`: a vertical move
+    /// raises `B` by at most `bonus_per_sample`, and a diagonal move pays its
+    /// bonus out of the predecessor's `B` while resetting dwell to 1 — so
+    /// `Φ` drops by at most `bonus_per_sample` per pushed sample, and
+    /// `min(row) ≥ Φ ≥ min(row) - B_max` at all times. Hence the final cost
+    /// is at least the current cost minus
+    /// `bonus_per_sample * remaining_samples + B_max`.
+    ///
+    /// Streaming sessions use this to reject early *soundly*: once
+    /// `current_cost - early_reject_slack(remaining) > threshold`, the
+    /// verdict at the full prefix is already determined, so early exit never
+    /// changes a verdict — only how many samples a reject costs.
+    pub fn early_reject_slack(&self, remaining_samples: usize) -> f64 {
+        match self.match_bonus {
+            None => 0.0,
+            Some(b) => {
+                (b.bonus_per_sample as u64 * remaining_samples as u64
+                    + b.bonus_for_dwell(b.dwell_cap) as u64) as f64
+            }
+        }
     }
 }
 
@@ -200,5 +231,18 @@ mod tests {
         assert_eq!(config.distance, DistanceMetric::Absolute);
         assert!(!config.allow_reference_deletion);
         assert_eq!(config.match_bonus.unwrap().bonus_for_dwell(9), 20);
+    }
+
+    #[test]
+    fn early_reject_slack_reflects_bonus() {
+        assert_eq!(SdtwConfig::vanilla().early_reject_slack(500), 0.0);
+        assert_eq!(
+            SdtwConfig::hardware_without_bonus().early_reject_slack(500),
+            0.0
+        );
+        // Default bonus: 10 per remaining sample plus the one-time capped
+        // dwell bonus of 100.
+        assert_eq!(SdtwConfig::hardware().early_reject_slack(0), 100.0);
+        assert_eq!(SdtwConfig::hardware().early_reject_slack(500), 5_100.0);
     }
 }

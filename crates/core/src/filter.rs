@@ -11,9 +11,12 @@
 //! 5. compares the best alignment cost against a threshold: cost above the
 //!    threshold ⇒ the read is not from the target virus ⇒ eject it.
 
+use crate::classifier::{
+    CalibratingFeed, ClassifierSession, Decision, ReadClassifier, StreamClassification,
+};
 use crate::config::SdtwConfig;
-use crate::kernel_float::FloatSdtw;
-use crate::kernel_int::IntSdtw;
+use crate::kernel_float::{FloatSdtw, FloatSdtwStream};
+use crate::kernel_int::{IntSdtw, IntSdtwStream};
 use crate::result::SdtwResult;
 use sf_genome::Sequence;
 use sf_pore_model::{KmerModel, ReferenceSquiggle};
@@ -38,6 +41,7 @@ impl FilterVerdict {
 
 /// The classification outcome for one read.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[must_use]
 pub struct Classification {
     /// Keep or eject.
     pub verdict: FilterVerdict,
@@ -76,9 +80,21 @@ pub struct FilterConfig {
     pub threshold: f64,
     /// Query normalizer configuration.
     pub normalizer: NormalizerConfig,
+    /// Interval, in query samples, at which a streaming session re-evaluates
+    /// its sound early-reject bound (see
+    /// [`SdtwConfig::early_reject_slack`]). `0` disables early exit;
+    /// the decision then always falls at `prefix_samples`. Because the bound
+    /// is sound, early exit never changes a verdict — only how many samples
+    /// (and therefore how much sequencing time) a reject costs.
+    pub early_exit_interval: usize,
 }
 
 impl FilterConfig {
+    /// Default early-exit check cadence: frequent enough that obvious
+    /// non-target reads are ejected within a few hundred samples, sparse
+    /// enough that the `O(reference)` row scans stay under 1 % of DP work.
+    pub const DEFAULT_EARLY_EXIT_INTERVAL: usize = 250;
+
     /// The full hardware configuration at a given threshold.
     pub fn hardware(threshold: f64) -> Self {
         FilterConfig {
@@ -87,6 +103,7 @@ impl FilterConfig {
             prefix_samples: 2000,
             threshold,
             normalizer: NormalizerConfig::default(),
+            early_exit_interval: Self::DEFAULT_EARLY_EXIT_INTERVAL,
         }
     }
 
@@ -98,18 +115,29 @@ impl FilterConfig {
             prefix_samples: 2000,
             threshold,
             normalizer: NormalizerConfig::default(),
+            early_exit_interval: Self::DEFAULT_EARLY_EXIT_INTERVAL,
         }
     }
 
     /// Sets the prefix length.
+    #[must_use]
     pub fn with_prefix_samples(mut self, prefix_samples: usize) -> Self {
         self.prefix_samples = prefix_samples;
         self
     }
 
     /// Sets the threshold.
+    #[must_use]
     pub fn with_threshold(mut self, threshold: f64) -> Self {
         self.threshold = threshold;
+        self
+    }
+
+    /// Sets the streaming early-exit check interval (`0` disables early
+    /// exit).
+    #[must_use]
+    pub fn with_early_exit_interval(mut self, interval: usize) -> Self {
+        self.early_exit_interval = interval;
         self
     }
 }
@@ -272,6 +300,256 @@ impl SquiggleFilter {
     pub fn cells_per_read(&self) -> u64 {
         self.config.prefix_samples as u64 * self.reference_samples as u64
     }
+
+    /// Opens a streaming session (the concrete type behind
+    /// [`ReadClassifier::start_read`], exposed for callers that want to avoid
+    /// the boxed trait object).
+    pub fn session(&self) -> SquiggleFilterSession<'_> {
+        let kernel = match self.config.precision {
+            FilterPrecision::Int8 => SessionKernel::Int(
+                self.int_kernel
+                    .as_ref()
+                    .expect("int kernel present")
+                    .stream(),
+            ),
+            FilterPrecision::Float32 => SessionKernel::Float(
+                self.float_kernel
+                    .as_ref()
+                    .expect("float kernel present")
+                    .stream(),
+            ),
+        };
+        let interval = self.config.early_exit_interval;
+        SquiggleFilterSession {
+            filter: self,
+            feed: CalibratingFeed::new(
+                self.config.normalizer.calibration_window,
+                self.config.prefix_samples,
+                self.config.normalizer.outlier_clip,
+            ),
+            kernel,
+            decision: Decision::Wait,
+            decided_early: false,
+            result: None,
+            decided_at: None,
+            next_check: if interval == 0 { usize::MAX } else { interval },
+        }
+    }
+}
+
+impl ReadClassifier for SquiggleFilter {
+    fn start_read(&self) -> Box<dyn ClassifierSession + '_> {
+        Box::new(self.session())
+    }
+
+    fn max_decision_samples(&self) -> usize {
+        self.config.prefix_samples
+    }
+}
+
+/// The DP stream of an in-progress session, matching the filter's precision.
+#[derive(Debug, Clone)]
+enum SessionKernel<'a> {
+    Int(IntSdtwStream<'a>),
+    Float(FloatSdtwStream<'a>),
+}
+
+impl SessionKernel<'_> {
+    fn samples(&self) -> usize {
+        match self {
+            SessionKernel::Int(s) => s.samples_processed(),
+            SessionKernel::Float(s) => s.samples_processed(),
+        }
+    }
+
+    fn best(&self) -> Option<SdtwResult> {
+        match self {
+            SessionKernel::Int(s) => s.best(),
+            SessionKernel::Float(s) => s.best(),
+        }
+    }
+
+    fn push(&mut self, normalized: f32) {
+        match self {
+            SessionKernel::Int(s) => s.push(quantize(normalized)),
+            SessionKernel::Float(s) => s.push(normalized),
+        }
+    }
+}
+
+/// A streaming [`SquiggleFilter`] classification of one read.
+///
+/// The session buffers raw samples until the normalizer's calibration window
+/// fills, then normalizes incrementally with the frozen parameters and feeds
+/// the resumable DP stream — so any chunking of the same sample stream is
+/// bit-identical to the one-shot [`SquiggleFilter::classify`] on the same
+/// prefix. Between calibration and the full `prefix_samples`, a sound
+/// early-reject bound fires for clearly-non-target reads before the prefix
+/// completes (checked every `early_exit_interval` samples).
+///
+/// Because normalization parameters come from the first
+/// `calibration_window` raw samples, no decision can fire before that window
+/// has arrived: with the default window equal to `prefix_samples`, early
+/// exit saves DP work but not sequencing time. Configure a shorter window
+/// (e.g. 500–1000 samples) when streaming ejection latency matters; the
+/// one-shot path uses the same window, so parity is preserved.
+#[derive(Debug, Clone)]
+pub struct SquiggleFilterSession<'a> {
+    filter: &'a SquiggleFilter,
+    feed: CalibratingFeed,
+    kernel: SessionKernel<'a>,
+    decision: Decision,
+    decided_early: bool,
+    /// Alignment state captured at decision time.
+    result: Option<SdtwResult>,
+    /// Raw-sample count at which the decision became available: the deciding
+    /// DP row's position, but never before the calibration window filled and
+    /// never more samples than the read delivered.
+    decided_at: Option<usize>,
+    /// Next sample count at which the early-reject bound is evaluated.
+    next_check: usize,
+}
+
+/// Per-sample DP advance and decision checks (the [`CalibratingFeed`] sink):
+/// pushes one normalized sample and returns `true` once a decision is final.
+fn advance(
+    config: &FilterConfig,
+    kernel: &mut SessionKernel<'_>,
+    decision: &mut Decision,
+    result: &mut Option<SdtwResult>,
+    next_check: &mut usize,
+    z: f32,
+) -> bool {
+    kernel.push(z);
+    let n = kernel.samples();
+    if n == config.prefix_samples {
+        let best = kernel.best().expect("samples were pushed");
+        *decision = if best.cost <= config.threshold {
+            Decision::Accept
+        } else {
+            Decision::Reject
+        };
+        *result = Some(best);
+        return true;
+    }
+    if n == *next_check {
+        *next_check += config.early_exit_interval;
+        let best = kernel.best().expect("samples were pushed");
+        let slack = config.sdtw.early_reject_slack(config.prefix_samples - n);
+        // Sound bound: the row minimum cannot drop below this by the time
+        // the full prefix has been consumed, so a reject here is exactly the
+        // verdict the one-shot path will reach.
+        if best.cost - slack > config.threshold {
+            *decision = Decision::Reject;
+            *result = Some(best);
+            return true;
+        }
+    }
+    false
+}
+
+impl SquiggleFilterSession<'_> {
+    /// Records when a just-made mid-stream decision became available and
+    /// whether it beat the sample budget.
+    fn record_decision_point(&mut self, early_possible: bool) {
+        let at = self.feed.decision_point(self.kernel.samples());
+        self.decided_at = Some(at);
+        self.decided_early = early_possible
+            && self.decision == Decision::Reject
+            && at < self.filter.config.prefix_samples;
+    }
+}
+
+impl ClassifierSession for SquiggleFilterSession<'_> {
+    fn push_chunk(&mut self, chunk: &[u16]) -> Decision {
+        if self.decision.is_final() {
+            return self.decision;
+        }
+        let Self {
+            filter,
+            feed,
+            kernel,
+            decision,
+            result,
+            next_check,
+            ..
+        } = self;
+        let config = filter.config;
+        feed.push(&filter.normalizer, chunk, &mut |z| {
+            advance(&config, kernel, decision, result, next_check, z)
+        });
+        if self.decision.is_final() {
+            self.record_decision_point(true);
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn samples_consumed(&self) -> usize {
+        self.decided_at.unwrap_or_else(|| self.feed.received())
+    }
+
+    fn finalize(&mut self) -> StreamClassification {
+        let config = self.filter.config;
+        if !self.decision.is_final() {
+            // The read ended before the calibration window filled: calibrate
+            // on what we have (which can itself reach a decision — but one
+            // that saved nothing, the read is already over).
+            let Self {
+                filter,
+                feed,
+                kernel,
+                decision,
+                result,
+                next_check,
+                ..
+            } = self;
+            feed.flush(&filter.normalizer, &mut |z| {
+                advance(&config, kernel, decision, result, next_check, z)
+            });
+            if self.decision.is_final() {
+                self.record_decision_point(false);
+            }
+        }
+        if !self.decision.is_final() {
+            // Decide on the partial prefix, exactly like the one-shot path
+            // would on the same short prefix.
+            match self.kernel.best() {
+                Some(best) => {
+                    self.decision = if best.cost <= config.threshold {
+                        Decision::Accept
+                    } else {
+                        Decision::Reject
+                    };
+                    self.result = Some(best);
+                }
+                None => {
+                    // Empty read: accept (no evidence to eject), as in
+                    // `SquiggleFilter::classify`.
+                    self.decision = Decision::Accept;
+                    self.result = Some(SdtwResult {
+                        cost: 0.0,
+                        start_position: 0,
+                        end_position: 0,
+                        query_samples: 0,
+                    });
+                }
+            }
+            // Resolved at end-of-read: every received sample was needed.
+            self.decided_at = Some(self.feed.received());
+        }
+        let result = self.result.expect("final decision carries a result");
+        StreamClassification {
+            verdict: self.decision.verdict().expect("decision is final"),
+            score: result.cost,
+            result: Some(result),
+            samples_consumed: self.samples_consumed(),
+            decided_early: self.decided_early,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -298,16 +576,9 @@ mod tests {
         (filter, model, genome)
     }
 
-    /// Builds a noiseless squiggle for a fragment of `genome` by expanding the
-    /// expected signal to 10 samples per base in raw ADC counts.
+    /// The ideal 10-samples-per-base squiggle for a fragment of `genome`.
     fn noiseless_squiggle(model: &KmerModel, fragment: &Sequence) -> RawSquiggle {
-        let adc = sf_pore_model::AdcModel::default();
-        let expected = model.expected_signal(fragment);
-        let samples: Vec<u16> = expected
-            .iter()
-            .flat_map(|&pa| std::iter::repeat_n(adc.to_raw(pa), 10))
-            .collect();
-        RawSquiggle::new(samples, 4000.0)
+        model.expected_raw_squiggle(fragment, 10, &sf_pore_model::AdcModel::default())
     }
 
     #[test]
@@ -407,5 +678,157 @@ mod tests {
     fn verdict_helpers() {
         assert!(FilterVerdict::Accept.is_accept());
         assert!(!FilterVerdict::Reject.is_accept());
+    }
+
+    #[test]
+    fn streaming_session_matches_one_shot_bit_for_bit() {
+        // threshold = MAX ⇒ the early-reject bound can never fire, so the
+        // streamed result must equal the one-shot score on the same prefix
+        // exactly, for any chunking.
+        let (filter, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let squiggle = noiseless_squiggle(&model, &genome.subsequence(200, 900));
+        let want = filter.classify(&squiggle);
+        for chunk_size in [1usize, 7, 512, 10_000] {
+            let mut session = filter.session();
+            for chunk in squiggle.samples().chunks(chunk_size) {
+                let _ = session.push_chunk(chunk);
+            }
+            let got = session.finalize();
+            assert_eq!(got.verdict, want.verdict, "chunk {chunk_size}");
+            assert_eq!(got.result, Some(want.result), "chunk {chunk_size}");
+            assert!(!got.decided_early);
+        }
+    }
+
+    #[test]
+    fn obvious_background_is_rejected_before_the_full_prefix() {
+        // A 512-sample calibration window: decisions can fire from sample 512
+        // on (with the default window of 2000 == prefix, nothing can be
+        // decided before the whole prefix has streamed in).
+        let normalizer = sf_squiggle::normalize::NormalizerConfig {
+            calibration_window: 512,
+            ..Default::default()
+        };
+        let (base, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let probe_config = FilterConfig {
+            normalizer,
+            ..*base.config()
+        };
+        let filter = SquiggleFilter::from_genome(&model, &genome, probe_config);
+        let target = noiseless_squiggle(&model, &genome.subsequence(500, 1_000));
+        let background = RawSquiggle::new(
+            (0..6_000)
+                .map(|i| if i % 2 == 0 { 120 } else { 880 })
+                .collect(),
+            4_000.0,
+        );
+        let t_cost = filter.score(&target).unwrap().cost;
+        let b_cost = filter.score(&background).unwrap().cost;
+        let config = filter.config().with_threshold((t_cost + b_cost) / 2.0);
+        let model2 = KmerModel::synthetic_r94(0);
+        let calibrated = SquiggleFilter::from_genome(&model2, &genome, config);
+
+        let outcome = calibrated.classify_stream(&background);
+        assert_eq!(outcome.verdict, FilterVerdict::Reject);
+        assert!(outcome.decided_early, "square wave should reject early");
+        assert!(
+            outcome.samples_consumed < config.prefix_samples,
+            "consumed {} of {}",
+            outcome.samples_consumed,
+            config.prefix_samples
+        );
+        // Early exit is sound: the verdict matches the one-shot path.
+        assert_eq!(
+            calibrated.classify(&background).verdict,
+            FilterVerdict::Reject
+        );
+        // And the target still streams to a (non-early) accept.
+        let kept = calibrated.classify_stream(&target);
+        assert_eq!(kept.verdict, FilterVerdict::Accept);
+        assert!(!kept.decided_early);
+    }
+
+    #[test]
+    fn early_exit_can_be_disabled() {
+        let (filter, _, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        // NEG_INFINITY: no cost can pass, so every read rejects — but only
+        // at the full prefix, because early exit is off.
+        let config = filter
+            .config()
+            .with_threshold(f64::NEG_INFINITY)
+            .with_early_exit_interval(0);
+        let model = KmerModel::synthetic_r94(0);
+        let no_exit = SquiggleFilter::from_genome(&model, &genome, config);
+        let background = RawSquiggle::new(vec![500u16; 4_000], 4_000.0);
+        let outcome = no_exit.classify_stream(&background);
+        assert_eq!(outcome.verdict, FilterVerdict::Reject);
+        assert!(!outcome.decided_early);
+        assert_eq!(outcome.samples_consumed, config.prefix_samples);
+    }
+
+    #[test]
+    fn short_and_empty_reads_finalize_like_classify() {
+        let (filter, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        // 700 samples — ends before the 2000-sample calibration window.
+        let short = noiseless_squiggle(&model, &genome.subsequence(0, 70));
+        let want = filter.classify(&short);
+        let mut session = filter.session();
+        for chunk in short.samples().chunks(64) {
+            assert_eq!(session.push_chunk(chunk), Decision::Wait);
+        }
+        let got = session.finalize();
+        assert_eq!(got.verdict, want.verdict);
+        assert_eq!(got.result, Some(want.result));
+        assert_eq!(got.samples_consumed, short.len());
+
+        let mut empty = filter.session();
+        let empty_outcome = empty.finalize();
+        assert_eq!(empty_outcome.verdict, FilterVerdict::Accept);
+        assert_eq!(empty_outcome.samples_consumed, 0);
+    }
+
+    #[test]
+    fn short_read_decisions_never_report_more_samples_than_received() {
+        // A 300-sample read under a 500-sample calibration window with a
+        // reject-everything threshold: the decision resolves in finalize and
+        // must report the read's actual length, not the calibration window.
+        let (base, model, genome) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let config = FilterConfig {
+            normalizer: sf_squiggle::normalize::NormalizerConfig {
+                calibration_window: 500,
+                ..Default::default()
+            },
+            ..base.config().with_threshold(f64::NEG_INFINITY)
+        };
+        let filter = SquiggleFilter::from_genome(&model, &genome, config);
+        let read = RawSquiggle::new(vec![480; 300], 4_000.0);
+        let outcome = filter.classify_stream(&read);
+        assert_eq!(outcome.verdict, FilterVerdict::Reject);
+        assert_eq!(outcome.samples_consumed, 300);
+        // End-of-read resolutions saved no sequencing time.
+        assert!(!outcome.decided_early);
+    }
+
+    #[test]
+    fn pushes_after_a_final_decision_are_ignored() {
+        let (filter, _, _) = small_filter(FilterPrecision::Int8, f64::MAX);
+        let mut session = filter.session();
+        let d = session.push_chunk(&vec![500u16; 2_500]);
+        assert!(d.is_final(), "full prefix forces a decision");
+        let consumed = session.samples_consumed();
+        assert_eq!(consumed, filter.config().prefix_samples);
+        assert_eq!(session.push_chunk(&[1, 2, 3]), d);
+        assert_eq!(session.samples_consumed(), consumed);
+        assert_eq!(session.decision(), d);
+    }
+
+    #[test]
+    fn float_session_also_matches_one_shot() {
+        let (filter, model, genome) = small_filter(FilterPrecision::Float32, f64::MAX);
+        let squiggle = noiseless_squiggle(&model, &genome.subsequence(100, 700));
+        let want = filter.classify(&squiggle);
+        let got = filter.classify_stream(&squiggle);
+        assert_eq!(got.verdict, want.verdict);
+        assert_eq!(got.result, Some(want.result));
     }
 }

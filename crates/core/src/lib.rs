@@ -12,37 +12,47 @@
 //!   Figure 18 ablation.
 //! * [`kernel_float`] / [`kernel_int`] — streaming subsequence-DTW kernels in
 //!   floating point and in the accelerator's 8-bit fixed-point domain.
+//! * [`classifier`] — the streaming [`ReadClassifier`] API: per-read
+//!   sessions making chunk-wise Accept/Reject/Wait [`Decision`]s, the
+//!   interface every classifier and every consumer in the workspace speaks.
 //! * [`filter`] — the single-stage [`SquiggleFilter`]: normalize a read
 //!   prefix, align it, compare against a threshold (paper §4.5).
 //! * [`multistage`] — multi-stage filtering with carried-over DP state
 //!   (paper §4.6).
 //! * [`batch`] — the [`BatchClassifier`]: shared-queue multi-threaded
-//!   classification of whole read batches with merged confusion matrices.
+//!   classification of whole read batches with merged confusion matrices,
+//!   generic over any [`ReadClassifier`].
 //! * [`threshold`] — threshold calibration from labelled costs.
 //!
 //! # Example
 //!
 //! ```
-//! use sf_sdtw::{FilterConfig, SquiggleFilter};
+//! use sf_sdtw::{Decision, FilterConfig, ClassifierSession, ReadClassifier, SquiggleFilter};
 //! use sf_pore_model::KmerModel;
 //! use sf_genome::random::covid_like_genome;
-//! use sf_squiggle::RawSquiggle;
 //!
 //! // Program the filter for a new target virus.
 //! let model = KmerModel::synthetic_r94(0);
 //! let genome = covid_like_genome(1);
 //! let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(60_000.0));
 //!
-//! // Classify a read prefix (here: an obviously non-matching flat signal).
-//! let read = RawSquiggle::new(vec![500u16; 2_000], 4_000.0);
-//! let decision = filter.classify(&read);
-//! println!("cost = {}, keep = {}", decision.result.cost, decision.verdict.is_accept());
+//! // Stream an obviously non-matching flat signal chunk by chunk, as it
+//! // would arrive from the pore; most rejects fire before the full prefix.
+//! let mut session = filter.start_read();
+//! let chunk = vec![500u16; 500];
+//! let mut decision = Decision::Wait;
+//! while !decision.is_final() {
+//!     decision = session.push_chunk(&chunk);
+//! }
+//! let outcome = session.finalize();
+//! println!("cost = {}, keep = {}", outcome.score, outcome.verdict.is_accept());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod classifier;
 pub mod config;
 pub mod filter;
 pub mod kernel_float;
@@ -52,10 +62,16 @@ pub mod result;
 pub mod threshold;
 
 pub use batch::{BatchClassifier, BatchConfig, BatchReport};
+pub use classifier::{ClassifierSession, Decision, ReadClassifier, StreamClassification};
 pub use config::{DistanceMetric, MatchBonus, SdtwConfig};
-pub use filter::{Classification, FilterConfig, FilterPrecision, FilterVerdict, SquiggleFilter};
+pub use filter::{
+    Classification, FilterConfig, FilterPrecision, FilterVerdict, SquiggleFilter,
+    SquiggleFilterSession,
+};
 pub use kernel_float::{FloatSdtw, FloatSdtwStream};
 pub use kernel_int::{IntSdtw, IntSdtwStream};
-pub use multistage::{MultiStageConfig, MultiStageFilter, Stage, StagedClassification};
+pub use multistage::{
+    MultiStageConfig, MultiStageFilter, MultiStageSession, Stage, StagedClassification,
+};
 pub use result::SdtwResult;
 pub use threshold::{calibrate_threshold, OperatingPoint, ThresholdSweep};

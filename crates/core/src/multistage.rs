@@ -9,9 +9,12 @@
 //! nothing is recomputed — exactly what the accelerator does by spilling the
 //! last PE's costs to DRAM.
 
+use crate::classifier::{
+    CalibratingFeed, ClassifierSession, Decision, ReadClassifier, StreamClassification,
+};
 use crate::config::SdtwConfig;
 use crate::filter::FilterVerdict;
-use crate::kernel_int::IntSdtw;
+use crate::kernel_int::{IntSdtw, IntSdtwStream};
 use crate::result::SdtwResult;
 use sf_pore_model::ReferenceSquiggle;
 use sf_squiggle::normalize::{Normalizer, NormalizerConfig};
@@ -196,6 +199,222 @@ impl MultiStageFilter {
         }
         unreachable!("loop always returns on the last stage");
     }
+
+    /// Opens a streaming session: chunks accumulate, and each stage's
+    /// keep-or-eject test fires the moment its prefix is reached (the
+    /// concrete type behind [`ReadClassifier::start_read`]).
+    pub fn session(&self) -> MultiStageSession<'_> {
+        MultiStageSession {
+            filter: self,
+            feed: CalibratingFeed::new(
+                self.config.normalizer.calibration_window,
+                self.max_decision_samples(),
+                self.config.normalizer.outlier_clip,
+            ),
+            stream: self.kernel.stream(),
+            stage: 0,
+            decision: Decision::Wait,
+            decided_early: false,
+            result: None,
+            decided_at: None,
+        }
+    }
+}
+
+impl ReadClassifier for MultiStageFilter {
+    fn start_read(&self) -> Box<dyn ClassifierSession + '_> {
+        Box::new(self.session())
+    }
+
+    fn max_decision_samples(&self) -> usize {
+        self.config
+            .stages
+            .last()
+            .expect("stages are validated non-empty")
+            .prefix_samples
+    }
+}
+
+/// A streaming multi-stage classification of one read.
+///
+/// DP state is carried across stage boundaries exactly as in
+/// [`MultiStageFilter::classify`] — nothing is recomputed when a read
+/// survives a stage — so chunked streaming is bit-identical to the one-shot
+/// path on the same prefix.
+///
+/// Decision timing: normalization parameters come from the first
+/// `calibration_window` raw samples, so a stage whose prefix is shorter than
+/// the window can only *fire* once the window has filled — the session's
+/// `samples_consumed` reports that honest raw-signal arrival time, whereas
+/// the one-shot [`StagedClassification::samples_used`] reports the DP
+/// position of the deciding stage. Give the config a window no longer than
+/// the first stage's prefix when streaming ejection latency matters.
+#[derive(Debug, Clone)]
+pub struct MultiStageSession<'a> {
+    filter: &'a MultiStageFilter,
+    feed: CalibratingFeed,
+    stream: IntSdtwStream<'a>,
+    /// Index of the next stage to evaluate.
+    stage: usize,
+    decision: Decision,
+    decided_early: bool,
+    result: Option<SdtwResult>,
+    /// Raw-sample count at which the decision became available: the deciding
+    /// stage's boundary, but never before the calibration window filled and
+    /// never more samples than the read delivered.
+    decided_at: Option<usize>,
+}
+
+/// Per-sample DP advance and stage-boundary checks (the [`CalibratingFeed`]
+/// sink): pushes one normalized-and-quantized sample and returns `true` once
+/// a decision is final.
+fn advance(
+    stages: &[Stage],
+    stream: &mut IntSdtwStream<'_>,
+    stage: &mut usize,
+    decision: &mut Decision,
+    result: &mut Option<SdtwResult>,
+    z: f32,
+) -> bool {
+    // The shared per-sample formula (then `quantize`) keeps streaming
+    // bit-identical to `classify`.
+    stream.push(sf_squiggle::normalize::quantize(z));
+    let n = stream.samples_processed();
+    if n == stages[*stage].prefix_samples {
+        let best = stream.best().expect("samples were pushed");
+        if best.cost > stages[*stage].threshold {
+            *decision = Decision::Reject;
+            *result = Some(best);
+            return true;
+        }
+        if *stage == stages.len() - 1 {
+            *decision = Decision::Accept;
+            *result = Some(best);
+            return true;
+        }
+        *stage += 1;
+    }
+    false
+}
+
+impl MultiStageSession<'_> {
+    /// Index of the stage that made (or would make) the decision.
+    pub fn deciding_stage(&self) -> usize {
+        self.stage.min(self.filter.config.stages.len() - 1)
+    }
+
+    /// Records when a just-made decision became available and whether it
+    /// beat the final stage's sample budget.
+    fn record_decision_point(&mut self, early_possible: bool) {
+        let at = self.feed.decision_point(self.stream.samples_processed());
+        self.decided_at = Some(at);
+        self.decided_early = early_possible
+            && self.decision == Decision::Reject
+            && at < self.filter.max_decision_samples();
+    }
+}
+
+impl ClassifierSession for MultiStageSession<'_> {
+    fn push_chunk(&mut self, chunk: &[u16]) -> Decision {
+        if self.decision.is_final() {
+            return self.decision;
+        }
+        let Self {
+            filter,
+            feed,
+            stream,
+            stage,
+            decision,
+            result,
+            ..
+        } = self;
+        let stages = &filter.config.stages;
+        feed.push(&filter.normalizer, chunk, &mut |z| {
+            advance(stages, stream, stage, decision, result, z)
+        });
+        if self.decision.is_final() {
+            self.record_decision_point(true);
+        }
+        self.decision
+    }
+
+    fn decision(&self) -> Decision {
+        self.decision
+    }
+
+    fn samples_consumed(&self) -> usize {
+        self.decided_at.unwrap_or_else(|| self.feed.received())
+    }
+
+    fn finalize(&mut self) -> StreamClassification {
+        if !self.decision.is_final() {
+            // The read ended before the calibration window filled: calibrate
+            // on what we have (which can itself reach a decision — but one
+            // that saved nothing, the read is already over).
+            let Self {
+                filter,
+                feed,
+                stream,
+                stage,
+                decision,
+                result,
+                ..
+            } = self;
+            let stages = &filter.config.stages;
+            feed.flush(&filter.normalizer, &mut |z| {
+                advance(stages, stream, stage, decision, result, z)
+            });
+            if self.decision.is_final() {
+                self.record_decision_point(false);
+            }
+        }
+        if !self.decision.is_final() {
+            // The read ended mid-stage: evaluate the pending stage on the
+            // samples we have, exactly like `classify` does for short reads.
+            match self.stream.best() {
+                Some(best) => {
+                    // A read that ended *exactly* at the previous stage's
+                    // boundary already passed that stage's test in advance();
+                    // `classify` treats that stage as the last one (its
+                    // `consumed == query.len()` case), so judge against the
+                    // boundary stage, not the never-reached next stage.
+                    let stages = &self.filter.config.stages;
+                    let deciding = if self.stage > 0
+                        && self.stream.samples_processed() == stages[self.stage - 1].prefix_samples
+                    {
+                        self.stage - 1
+                    } else {
+                        self.stage
+                    };
+                    self.decision = if best.cost > stages[deciding].threshold {
+                        Decision::Reject
+                    } else {
+                        Decision::Accept
+                    };
+                    self.result = Some(best);
+                }
+                None => {
+                    self.decision = Decision::Accept;
+                    self.result = Some(SdtwResult {
+                        cost: 0.0,
+                        start_position: 0,
+                        end_position: 0,
+                        query_samples: 0,
+                    });
+                }
+            }
+            // Resolved at end-of-read: every received sample was needed.
+            self.decided_at = Some(self.feed.received());
+        }
+        let result = self.result.expect("final decision carries a result");
+        StreamClassification {
+            verdict: self.decision.verdict().expect("decision is final"),
+            score: result.cost,
+            result: Some(result),
+            samples_consumed: self.samples_consumed(),
+            decided_early: self.decided_early,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,13 +425,7 @@ mod tests {
     use sf_pore_model::KmerModel;
 
     fn noiseless_squiggle(model: &KmerModel, fragment: &Sequence) -> RawSquiggle {
-        let adc = sf_pore_model::AdcModel::default();
-        let samples: Vec<u16> = model
-            .expected_signal(fragment)
-            .iter()
-            .flat_map(|&pa| std::iter::repeat_n(adc.to_raw(pa), 10))
-            .collect();
-        RawSquiggle::new(samples, 4_000.0)
+        model.expected_raw_squiggle(fragment, 10, &sf_pore_model::AdcModel::default())
     }
 
     fn setup() -> (KmerModel, Sequence, ReferenceSquiggle) {
@@ -344,6 +557,49 @@ mod tests {
     }
 
     #[test]
+    fn short_read_stage_decision_never_reports_more_samples_than_received() {
+        // 1500 samples: past the stage-0 prefix (1000) but short of the
+        // 2000-sample calibration window. The stage-0 reject resolves in
+        // finalize and must report the read's actual length, not the window.
+        let (_, _, reference) = setup();
+        let filter = MultiStageFilter::new(
+            &reference,
+            MultiStageConfig::two_stage(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        );
+        let read = RawSquiggle::new(vec![480; 1_500], 4_000.0);
+        let outcome = filter.classify_stream(&read);
+        assert_eq!(outcome.verdict, FilterVerdict::Reject);
+        assert_eq!(outcome.samples_consumed, 1_500);
+        assert!(!outcome.decided_early);
+    }
+
+    #[test]
+    fn read_ending_exactly_at_a_stage_boundary_matches_classify() {
+        // A read of exactly 1000 samples that passes stage 0: `classify`
+        // treats stage 0 as the last stage (consumed == query length) and
+        // accepts; the streaming session must not judge it against the
+        // never-reached stage 1 (whose threshold here rejects everything).
+        let (_, _, reference) = setup();
+        let filter = MultiStageFilter::new(
+            &reference,
+            MultiStageConfig::two_stage(f64::MAX, f64::NEG_INFINITY),
+        );
+        let read = RawSquiggle::new(vec![480; 1_000], 4_000.0);
+        let want = filter.classify(&read);
+        assert_eq!(want.verdict, FilterVerdict::Accept);
+        assert_eq!(want.deciding_stage, 0);
+        for chunk_size in [1usize, 250, 1_000] {
+            let mut session = filter.session();
+            for chunk in read.samples().chunks(chunk_size) {
+                let _ = session.push_chunk(chunk);
+            }
+            let got = session.finalize();
+            assert_eq!(got.verdict, want.verdict, "chunk {chunk_size}");
+            assert_eq!(got.result, Some(want.result), "chunk {chunk_size}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "strictly increasing")]
     fn non_increasing_stages_panic() {
         let (_, _, reference) = setup();
@@ -361,6 +617,65 @@ mod tests {
             ..MultiStageConfig::two_stage(1.0, 1.0)
         };
         let _ = MultiStageFilter::new(&reference, config);
+    }
+
+    #[test]
+    fn streaming_session_matches_one_shot_classify() {
+        let (model, genome, reference) = setup();
+        let target = noiseless_squiggle(&model, &genome.subsequence(0, 1_000));
+        let background = RawSquiggle::new(
+            (0..10_000)
+                .map(|i| if i % 2 == 0 { 120 } else { 880 })
+                .collect(),
+            4_000.0,
+        );
+        let early = midpoint_threshold(&reference, &target, &background, 1_000);
+        let filter =
+            MultiStageFilter::new(&reference, MultiStageConfig::two_stage(early, f64::MAX));
+        for squiggle in [&target, &background] {
+            let want = filter.classify(squiggle);
+            for chunk_size in [1usize, 333, 4_096] {
+                let mut session = filter.session();
+                for chunk in squiggle.samples().chunks(chunk_size) {
+                    let _ = session.push_chunk(chunk);
+                }
+                let got = session.finalize();
+                assert_eq!(got.verdict, want.verdict, "chunk {chunk_size}");
+                assert_eq!(got.result, Some(want.result), "chunk {chunk_size}");
+                // Streaming reports raw-signal arrival time: the deciding
+                // stage's prefix, but never before the 2000-sample
+                // calibration window.
+                assert_eq!(got.samples_consumed, want.samples_used.max(2_000));
+            }
+        }
+        // The background read is ejected by stage 0 (DP position 1000); the
+        // decision becomes available once the 2000-sample normalization
+        // window has streamed in — still well before the 5000-sample final
+        // stage.
+        let ejected = filter.classify_stream(&background);
+        assert_eq!(ejected.verdict, FilterVerdict::Reject);
+        assert!(ejected.decided_early);
+        assert_eq!(ejected.result.unwrap().query_samples, 1_000);
+        assert_eq!(ejected.samples_consumed, 2_000);
+    }
+
+    #[test]
+    fn streaming_short_and_empty_reads_match_classify() {
+        let (_, _, reference) = setup();
+        let filter =
+            MultiStageFilter::new(&reference, MultiStageConfig::two_stage(f64::MAX, f64::MAX));
+        let short = RawSquiggle::new(vec![480; 1_500], 4_000.0);
+        let want = filter.classify(&short);
+        let got = filter.classify_stream(&short);
+        assert_eq!(got.verdict, want.verdict);
+        assert_eq!(got.samples_consumed, want.samples_used);
+        assert_eq!(got.result, Some(want.result));
+
+        let mut empty = filter.session();
+        assert_eq!(empty.push_chunk(&[]), Decision::Wait);
+        let outcome = empty.finalize();
+        assert_eq!(outcome.verdict, FilterVerdict::Accept);
+        assert_eq!(outcome.samples_consumed, 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::ops::Index;
 ///
 /// `Sequence` is the working representation used throughout the workspace:
 /// simple, indexable and cheap to slice. For storage-sensitive contexts (whole
-/// simulated human-like backgrounds) use [`PackedSequence`](crate::PackedSequence).
+/// simulated human-like backgrounds) use [`crate::PackedSequence`].
 ///
 /// # Examples
 ///

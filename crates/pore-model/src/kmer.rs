@@ -230,6 +230,25 @@ impl KmerModel {
             .collect()
     }
 
+    /// Synthesizes the *ideal* raw squiggle for a fragment: the expected
+    /// current of each k-mer, held for `samples_per_base` samples and
+    /// digitized with `adc` — the noiseless signal a perfect pore would
+    /// report. Used as the canonical clean-read fixture throughout the
+    /// workspace (`sf_sim::SquiggleSimulator` adds the realistic noise).
+    pub fn expected_raw_squiggle(
+        &self,
+        fragment: &Sequence,
+        samples_per_base: usize,
+        adc: &crate::AdcModel,
+    ) -> sf_squiggle::RawSquiggle {
+        let samples: Vec<u16> = self
+            .expected_signal(fragment)
+            .iter()
+            .flat_map(|&pa| std::iter::repeat_n(adc.to_raw(pa), samples_per_base))
+            .collect();
+        sf_squiggle::RawSquiggle::new(samples, sf_squiggle::DEFAULT_SAMPLE_RATE_HZ)
+    }
+
     /// Converts a sequence into its expected current profile normalized to
     /// zero mean and unit standard deviation *over the model table* (so the
     /// same scaling applies to every genome, matching how the accelerator

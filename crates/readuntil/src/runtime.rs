@@ -7,6 +7,13 @@
 //! point (TPR/FPR, decision prefix length and decision latency). Read Until
 //! saves time because non-target reads occupy a pore only for the decision
 //! prefix instead of their full length.
+//!
+//! Operating points can be entered by hand, taken from a ROC sweep, or —
+//! via [`ClassifierPoint::from_session_stats`] — measured directly from
+//! streaming classification sessions, so the model consumes real
+//! samples-to-decision distributions instead of nominal prefixes.
+
+use sf_sdtw::StreamClassification;
 
 /// Parameters of a sequencing run.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -65,6 +72,67 @@ impl ClassifierPoint {
             false_positive_rate: 0.0,
             decision_prefix_samples: prefix,
             decision_latency_s: 0.0,
+        }
+    }
+
+    /// Derives an operating point from *measured* streaming sessions: pairs
+    /// of ground truth (`true` = target read) and the session's resolved
+    /// [`StreamClassification`].
+    ///
+    /// TPR/FPR come straight from the verdicts. The decision prefix is the
+    /// mean samples-to-decision over *ejected* reads — those are the reads
+    /// whose pore time the decision point determines (kept reads run to
+    /// completion regardless) — so sound early exits shorten the modelled
+    /// decision prefix exactly as they shorten real pore occupancy. With no
+    /// ejected reads it falls back to the longest observed decision.
+    ///
+    /// Degenerate inputs are safe: with no target reads the TPR defaults to
+    /// 1.0, with no background reads the FPR defaults to 0.0.
+    pub fn from_session_stats(
+        stats: &[(bool, StreamClassification)],
+        decision_latency_s: f64,
+    ) -> Self {
+        let mut targets = 0u64;
+        let mut kept_targets = 0u64;
+        let mut background = 0u64;
+        let mut kept_background = 0u64;
+        let mut ejected_samples = 0u64;
+        let mut ejected = 0u64;
+        let mut max_samples = 0usize;
+        for &(is_target, outcome) in stats {
+            let kept = outcome.verdict.is_accept();
+            if is_target {
+                targets += 1;
+                kept_targets += u64::from(kept);
+            } else {
+                background += 1;
+                kept_background += u64::from(kept);
+            }
+            if kept {
+                max_samples = max_samples.max(outcome.samples_consumed);
+            } else {
+                ejected += 1;
+                ejected_samples += outcome.samples_consumed as u64;
+            }
+        }
+        let decision_prefix_samples = if ejected > 0 {
+            (ejected_samples as f64 / ejected as f64).round() as usize
+        } else {
+            max_samples
+        };
+        ClassifierPoint {
+            true_positive_rate: if targets > 0 {
+                kept_targets as f64 / targets as f64
+            } else {
+                1.0
+            },
+            false_positive_rate: if background > 0 {
+                kept_background as f64 / background as f64
+            } else {
+                0.0
+            },
+            decision_prefix_samples,
+            decision_latency_s,
         }
     }
 }
@@ -260,6 +328,47 @@ mod tests {
         let filtered = model.with_read_until(ClassifierPoint::oracle(2_000));
         assert!(filtered.target_fraction_of_bases() > control.target_fraction_of_bases() * 5.0);
         assert!(control.target_fraction_of_bases() < 0.02);
+    }
+
+    #[test]
+    fn from_session_stats_measures_rates_and_prefix() {
+        use sf_sdtw::FilterVerdict;
+
+        let outcome = |verdict: FilterVerdict, samples: usize, early: bool| StreamClassification {
+            verdict,
+            score: 0.0,
+            result: None,
+            samples_consumed: samples,
+            decided_early: early,
+        };
+        let stats = vec![
+            // 3 targets: 2 kept, 1 lost.
+            (true, outcome(FilterVerdict::Accept, 2_000, false)),
+            (true, outcome(FilterVerdict::Accept, 2_000, false)),
+            (true, outcome(FilterVerdict::Reject, 1_000, true)),
+            // 4 background: 1 leaked, 3 ejected early.
+            (false, outcome(FilterVerdict::Accept, 2_000, false)),
+            (false, outcome(FilterVerdict::Reject, 500, true)),
+            (false, outcome(FilterVerdict::Reject, 700, true)),
+            (false, outcome(FilterVerdict::Reject, 1_800, false)),
+        ];
+        let point = ClassifierPoint::from_session_stats(&stats, 0.001);
+        assert!((point.true_positive_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert!((point.false_positive_rate - 0.25).abs() < 1e-12);
+        // Mean over the 4 ejected reads: (1000 + 500 + 700 + 1800) / 4.
+        assert_eq!(point.decision_prefix_samples, 1_000);
+        assert_eq!(point.decision_latency_s, 0.001);
+        // The measured point slots straight into the runtime model.
+        let speedup = RuntimeModel::default().speedup(point);
+        assert!(speedup > 1.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn from_session_stats_handles_degenerate_inputs() {
+        let point = ClassifierPoint::from_session_stats(&[], 0.0);
+        assert_eq!(point.true_positive_rate, 1.0);
+        assert_eq!(point.false_positive_rate, 0.0);
+        assert_eq!(point.decision_prefix_samples, 0);
     }
 
     #[test]

@@ -7,20 +7,29 @@
 //! Until (which reverses pore voltage frequently) does not damage the flow
 //! cell any faster than normal sequencing.
 //!
-//! The same simulator is used to measure sequencing time and throughput under
-//! a Read Until policy described purely by its confusion-matrix rates and
-//! decision latency, so it stays independent of any particular classifier.
+//! The same simulator measures sequencing time and throughput under a Read
+//! Until policy. A policy is either *rate-described* ([`RatePolicy`]: TPR/FPR
+//! plus a fixed decision prefix, as measured offline) or a *real classifier*
+//! ([`ClassifierPolicy`]): any `sf_sdtw::ReadClassifier` driven chunk by
+//! chunk on per-read synthesized squiggles, so the decision point and the
+//! verdict are whatever the classifier actually does — including sound early
+//! ejects long before the nominal prefix.
 
 use crate::rand_util::{exponential, lognormal_with_mean};
+use crate::squiggle_sim::{SquiggleSimulator, SquiggleSimulatorConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use sf_genome::Sequence;
+use sf_pore_model::KmerModel;
+use sf_sdtw::ReadClassifier;
+use std::fmt;
 
-/// Abstract Read Until policy: how good the classifier is and how long a
-/// decision takes. This is deliberately classifier-agnostic; `sf-readuntil`
+/// Rate-described Read Until policy: how good the classifier is and how long
+/// a decision takes, summarized by its confusion-matrix rates. `sf-readuntil`
 /// plugs in rates measured from the sDTW filter or the basecall+align
 /// baseline.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct ReadUntilPolicy {
+pub struct RatePolicy {
     /// Probability that a target read is (correctly) kept.
     pub true_positive_rate: f64,
     /// Probability that a background read is (incorrectly) kept.
@@ -33,15 +42,85 @@ pub struct ReadUntilPolicy {
     pub decision_latency_s: f64,
 }
 
-impl ReadUntilPolicy {
+impl RatePolicy {
     /// A perfect, instantaneous classifier (upper bound on Read Until gains).
     pub fn oracle(decision_prefix_samples: usize) -> Self {
-        ReadUntilPolicy {
+        RatePolicy {
             true_positive_rate: 1.0,
             false_positive_rate: 0.0,
             decision_prefix_samples,
             decision_latency_s: 0.0,
         }
+    }
+}
+
+/// A real streaming classifier plugged into the flow cell: each captured
+/// read gets a synthesized squiggle (target reads from `target_genome`,
+/// background reads from `background_genome`) whose chunks are pushed into a
+/// fresh classifier session until it commits to keep or eject.
+pub struct ClassifierPolicy {
+    /// The chunk-wise classifier making the keep-or-eject decisions.
+    pub classifier: Box<dyn ReadClassifier + Send + Sync>,
+    /// Genome target reads are drawn from (what the classifier was
+    /// programmed for).
+    pub target_genome: Sequence,
+    /// Background contig non-target reads are drawn from.
+    pub background_genome: Sequence,
+    /// Signal-synthesis parameters for the per-read squiggles.
+    pub signal: SquiggleSimulatorConfig,
+    /// Seed of the synthetic pore model used for synthesis (keep equal to
+    /// the seed the classifier's reference squiggle was built with).
+    pub model_seed: u64,
+    /// Raw samples delivered to the classifier per poll (MinKNOW serves
+    /// Read Until chunks of ≈ 0.1 s ≈ 400 samples).
+    pub chunk_samples: usize,
+    /// Additional compute latency per decision, seconds.
+    pub decision_latency_s: f64,
+}
+
+impl fmt::Debug for ClassifierPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassifierPolicy")
+            .field(
+                "max_decision_samples",
+                &self.classifier.max_decision_samples(),
+            )
+            .field("target_genome_bp", &self.target_genome.len())
+            .field("background_genome_bp", &self.background_genome.len())
+            .field("chunk_samples", &self.chunk_samples)
+            .field("decision_latency_s", &self.decision_latency_s)
+            .finish()
+    }
+}
+
+/// A Read Until policy: either summarized rates or a real chunk-wise
+/// classifier.
+#[derive(Debug)]
+pub enum ReadUntilPolicy {
+    /// Classifier summarized by its operating point (TPR/FPR + fixed
+    /// decision prefix).
+    Rates(RatePolicy),
+    /// A real streaming classifier driven chunk by chunk.
+    Classifier(ClassifierPolicy),
+}
+
+impl ReadUntilPolicy {
+    /// A perfect, instantaneous rate policy (upper bound on Read Until
+    /// gains).
+    pub fn oracle(decision_prefix_samples: usize) -> Self {
+        ReadUntilPolicy::Rates(RatePolicy::oracle(decision_prefix_samples))
+    }
+}
+
+impl From<RatePolicy> for ReadUntilPolicy {
+    fn from(rates: RatePolicy) -> Self {
+        ReadUntilPolicy::Rates(rates)
+    }
+}
+
+impl From<ClassifierPolicy> for ReadUntilPolicy {
+    fn from(classifier: ClassifierPolicy) -> Self {
+        ReadUntilPolicy::Classifier(classifier)
     }
 }
 
@@ -156,7 +235,7 @@ impl FlowCellRun {
 /// let config = FlowCellConfig { channels: 32, duration_s: 600.0, ..Default::default() };
 /// let control = FlowCellSimulator::new(config.clone(), 1).run(None, 60.0);
 /// let read_until = FlowCellSimulator::new(config, 1)
-///     .run(Some(ReadUntilPolicy::oracle(2000)), 60.0);
+///     .run(Some(&ReadUntilPolicy::oracle(2000)), 60.0);
 /// // Read Until enriches target bases relative to control.
 /// assert!(read_until.target_base_fraction() >= control.target_base_fraction());
 /// ```
@@ -179,9 +258,19 @@ impl FlowCellSimulator {
 
     /// Runs the simulation. `policy` enables Read Until; `None` is the
     /// control arm. `sample_interval_s` controls timeline resolution.
-    pub fn run(&self, policy: Option<ReadUntilPolicy>, sample_interval_s: f64) -> FlowCellRun {
+    pub fn run(&self, policy: Option<&ReadUntilPolicy>, sample_interval_s: f64) -> FlowCellRun {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(self.seed);
+        // Per-read signal synthesis, only needed when a real classifier
+        // drives the ejection decisions.
+        let mut signal_sim = match policy {
+            Some(ReadUntilPolicy::Classifier(p)) => Some(SquiggleSimulator::new(
+                KmerModel::synthetic_r94(p.model_seed),
+                p.signal,
+                self.seed.wrapping_add(0x5163_u64),
+            )),
+            _ => None,
+        };
         let samples = (cfg.duration_s / sample_interval_s).ceil() as usize + 1;
         let mut active_at: Vec<usize> = vec![0; samples];
         let mut bases_at: Vec<u64> = vec![0; samples];
@@ -234,7 +323,7 @@ impl FlowCellSimulator {
                 let full_duration = read_length / cfg.bases_per_second;
                 // Read Until decision.
                 let (sequenced_duration, sequenced_bases) = match policy {
-                    Some(p) => {
+                    Some(ReadUntilPolicy::Rates(p)) => {
                         let keep_probability = if is_target {
                             p.true_positive_rate
                         } else {
@@ -246,6 +335,21 @@ impl FlowCellSimulator {
                         } else {
                             // Ejected after the decision prefix plus latency.
                             let decision_time = p.decision_prefix_samples as f64
+                                / cfg.sample_rate_hz
+                                + p.decision_latency_s;
+                            let duration = decision_time.min(full_duration);
+                            ejected_reads += 1;
+                            (duration, duration * cfg.bases_per_second)
+                        }
+                    }
+                    Some(ReadUntilPolicy::Classifier(p)) => {
+                        let sim = signal_sim.as_mut().expect("classifier signal simulator");
+                        let outcome =
+                            drive_classifier(p, sim, &mut rng, is_target, read_length, cfg);
+                        if outcome.keep {
+                            (full_duration, read_length)
+                        } else {
+                            let decision_time = outcome.samples_consumed as f64
                                 / cfg.sample_rate_hz
                                 + p.decision_latency_s;
                             let duration = decision_time.min(full_duration);
@@ -332,6 +436,60 @@ impl FlowCellSimulator {
     }
 }
 
+/// Outcome of driving one read through a classifier session.
+struct DriveOutcome {
+    keep: bool,
+    samples_consumed: usize,
+}
+
+/// Synthesizes the signal prefix of one captured read and streams it chunk by
+/// chunk into a fresh classifier session until the session commits (or the
+/// read's signal runs out, at which point the session is finalized on what it
+/// saw — exactly the behaviour of a real Read Until loop on a short read).
+fn drive_classifier(
+    policy: &ClassifierPolicy,
+    signal_sim: &mut SquiggleSimulator,
+    rng: &mut StdRng,
+    is_target: bool,
+    read_length_bases: f64,
+    cfg: &FlowCellConfig,
+) -> DriveOutcome {
+    let genome = if is_target {
+        &policy.target_genome
+    } else {
+        &policy.background_genome
+    };
+    let read_bases = (read_length_bases as usize).min(genome.len());
+    // Only synthesize the prefix the classifier can possibly consume: the
+    // decision budget plus dwell-variation slack.
+    let budget_bases = (policy.classifier.max_decision_samples() as f64
+        / policy.signal.samples_per_base
+        * 1.3) as usize
+        + 20;
+    let fragment_bases = read_bases.min(budget_bases).max(1);
+    let start = rng.random_range(0..=genome.len() - fragment_bases);
+    let mut fragment = genome.subsequence(start, start + fragment_bases);
+    if rng.random_bool(0.5) {
+        fragment = fragment.reverse_complement();
+    }
+    let squiggle = signal_sim.synthesize(&fragment);
+    // The pore only delivers as much signal as the read actually spans.
+    let read_samples = (read_length_bases * cfg.sample_rate_hz / cfg.bases_per_second) as usize;
+    let available = squiggle.len().min(read_samples);
+
+    let mut session = policy.classifier.start_read();
+    for chunk in squiggle.samples()[..available].chunks(policy.chunk_samples.max(1)) {
+        if session.push_chunk(chunk).is_final() {
+            break;
+        }
+    }
+    let outcome = session.finalize();
+    DriveOutcome {
+        keep: outcome.verdict.is_accept(),
+        samples_consumed: outcome.samples_consumed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,7 +516,7 @@ mod tests {
     fn read_until_ejects_and_enriches() {
         let config = quick_config();
         let control = FlowCellSimulator::new(config.clone(), 2).run(None, 60.0);
-        let ru = FlowCellSimulator::new(config, 2).run(Some(ReadUntilPolicy::oracle(2000)), 60.0);
+        let ru = FlowCellSimulator::new(config, 2).run(Some(&ReadUntilPolicy::oracle(2000)), 60.0);
         assert!(ru.ejected_reads > 0);
         assert!(ru.target_base_fraction() > control.target_base_fraction());
         // Read Until frees pore time, so more reads are started overall.
@@ -405,7 +563,7 @@ mod tests {
         // across arms).
         let config = quick_config();
         let control = FlowCellSimulator::new(config.clone(), 5).run(None, 60.0);
-        let ru = FlowCellSimulator::new(config, 5).run(Some(ReadUntilPolicy::oracle(2000)), 60.0);
+        let ru = FlowCellSimulator::new(config, 5).run(Some(&ReadUntilPolicy::oracle(2000)), 60.0);
         let tolerance = 10;
         assert!(
             ru.final_active_channels + tolerance >= control.final_active_channels,
@@ -420,6 +578,82 @@ mod tests {
         let a = FlowCellSimulator::new(quick_config(), 8).run(None, 60.0);
         let b = FlowCellSimulator::new(quick_config(), 8).run(None, 60.0);
         assert_eq!(a, b);
+    }
+
+    /// Builds a calibrated SquiggleFilter policy over a small genome pair:
+    /// the threshold is the midpoint between one synthesized target read's
+    /// cost and one background read's cost.
+    fn squiggle_filter_policy(model_seed: u64) -> ClassifierPolicy {
+        use sf_sdtw::{FilterConfig, SquiggleFilter};
+
+        let target_genome = sf_genome::random::random_genome(71, 2_000);
+        let background_genome = sf_genome::random::human_like_background(72, 40_000);
+        let model = KmerModel::synthetic_r94(model_seed);
+        let signal = SquiggleSimulatorConfig::default();
+
+        let probe =
+            SquiggleFilter::from_genome(&model, &target_genome, FilterConfig::hardware(f64::MAX));
+        let mut sim = SquiggleSimulator::new(model.clone(), signal, 7);
+        let target_read = sim.synthesize(&target_genome.subsequence(300, 1_300));
+        let background_read = sim.synthesize(&background_genome.subsequence(0, 1_000));
+        let t = probe.score(&target_read).expect("target scores").cost;
+        let b = probe
+            .score(&background_read)
+            .expect("background scores")
+            .cost;
+        assert!(t < b, "calibration failed: target {t} vs background {b}");
+
+        let filter = SquiggleFilter::from_genome(
+            &model,
+            &target_genome,
+            FilterConfig::hardware((t + b) / 2.0),
+        );
+        ClassifierPolicy {
+            classifier: Box::new(filter),
+            target_genome,
+            background_genome,
+            signal,
+            model_seed,
+            chunk_samples: 400,
+            decision_latency_s: 0.000_1,
+        }
+    }
+
+    #[test]
+    fn squiggle_filter_policy_ejects_and_enriches() {
+        // A real (non-oracle) SquiggleFilter drives chunk-by-chunk ejection:
+        // classification happens on synthesized squiggles, not on labels.
+        let config = FlowCellConfig {
+            channels: 4,
+            duration_s: 240.0,
+            target_fraction: 0.3,
+            mean_read_length: 6_000.0,
+            ..Default::default()
+        };
+        let policy = ReadUntilPolicy::Classifier(squiggle_filter_policy(0));
+        let control = FlowCellSimulator::new(config.clone(), 11).run(None, 30.0);
+        let filtered = FlowCellSimulator::new(config, 11).run(Some(&policy), 30.0);
+        assert!(filtered.ejected_reads > 0, "classifier never ejected");
+        assert!(
+            filtered.ejected_reads < filtered.total_reads,
+            "classifier ejected everything"
+        );
+        assert!(
+            filtered.target_base_fraction() > control.target_base_fraction(),
+            "no enrichment: {} vs {}",
+            filtered.target_base_fraction(),
+            control.target_base_fraction()
+        );
+        // Deterministic per seed, classifier arm included.
+        let config2 = FlowCellConfig {
+            channels: 4,
+            duration_s: 240.0,
+            target_fraction: 0.3,
+            mean_read_length: 6_000.0,
+            ..Default::default()
+        };
+        let again = FlowCellSimulator::new(config2, 11).run(Some(&policy), 30.0);
+        assert_eq!(filtered, again);
     }
 
     #[test]

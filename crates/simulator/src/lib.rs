@@ -37,6 +37,8 @@ pub mod read;
 pub mod squiggle_sim;
 
 pub use dataset::{Dataset, DatasetBuilder, LabelledSquiggle};
-pub use flowcell::{FlowCellConfig, FlowCellRun, FlowCellSimulator, ReadUntilPolicy};
+pub use flowcell::{
+    ClassifierPolicy, FlowCellConfig, FlowCellRun, FlowCellSimulator, RatePolicy, ReadUntilPolicy,
+};
 pub use read::{ReadOrigin, ReadSimulator, ReadSimulatorConfig, SimulatedRead, Strand};
 pub use squiggle_sim::{SquiggleSimulator, SquiggleSimulatorConfig};

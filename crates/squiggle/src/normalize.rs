@@ -63,6 +63,18 @@ pub struct NormalizationParams {
     pub scale: f32,
 }
 
+impl NormalizationParams {
+    /// Applies the shift → scale → clip transform to one sample. This is
+    /// *the* per-sample normalization formula: batch normalization
+    /// ([`Normalizer::normalize_with`]) and the incremental streaming
+    /// classifier sessions in `sf-sdtw` both go through it, which is what
+    /// keeps chunked streaming bit-identical to the one-shot path.
+    #[inline]
+    pub fn apply(self, sample: f32, clip: f32) -> f32 {
+        ((sample - self.shift) / self.scale).clamp(-clip, clip)
+    }
+}
+
 /// The query normalizer.
 ///
 /// # Examples
@@ -130,10 +142,7 @@ impl Normalizer {
         let clip = self.config.outlier_clip;
         samples
             .into_iter()
-            .map(|x| {
-                let z = (x as f32 - params.shift) / params.scale;
-                z.clamp(-clip, clip)
-            })
+            .map(|x| params.apply(x as f32, clip))
             .collect()
     }
 

@@ -74,7 +74,31 @@ fn main() {
         matrix.f1()
     );
 
-    // 5. What would this cost on the accelerator?
+    // 5. The same filter, driven as a streaming Read Until classifier: raw
+    //    chunks go in as they arrive from the pore, a three-way decision
+    //    (Accept / Reject / Wait) comes back after every chunk, and most
+    //    rejects resolve without waiting for more signal than necessary.
+    let item = &dataset.reads[0];
+    let mut session = filter.start_read();
+    for chunk in item.squiggle.chunks(400) {
+        if session.push_chunk(chunk).is_final() {
+            break;
+        }
+    }
+    let outcome = session.finalize();
+    println!(
+        "streamed one {} read: {:?} after {} samples (one-shot verdict: {:?})",
+        if item.is_target() {
+            "target"
+        } else {
+            "background"
+        },
+        outcome.verdict,
+        outcome.samples_consumed,
+        filter.classify(&item.squiggle).verdict,
+    );
+
+    // 6. What would this cost on the accelerator?
     let perf = AcceleratorModel::default().sars_cov_2_design_point();
     println!(
         "accelerator: {:.3} ms/decision, {:.1} M samples/s per tile, {:.2} mm^2 / {:.2} W (5 tiles)",

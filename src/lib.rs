@@ -31,8 +31,21 @@
 //! let genome = squigglefilter::genome::random::covid_like_genome(1);
 //! let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(40_000.0));
 //!
-//! // Classify a read prefix.
-//! let read = RawSquiggle::new(vec![500u16; 2_000], 4_000.0);
+//! // Stream a read chunk by chunk, as the signal arrives from the pore —
+//! // the session answers Accept, Reject or Wait after every chunk.
+//! let read = RawSquiggle::new(vec![500u16; 3_000], 4_000.0);
+//! let mut session = filter.start_read();
+//! let mut decision = Decision::Wait;
+//! for chunk in read.chunks(400) {
+//!     decision = session.push_chunk(chunk);
+//!     if decision.is_final() {
+//!         break; // tell the sequencer, stop pushing
+//!     }
+//! }
+//! let outcome = session.finalize();
+//! assert!(outcome.samples_consumed <= 2_000);
+//!
+//! // Or classify a whole captured prefix in one shot.
 //! let decision = filter.classify(&read);
 //! assert_eq!(decision.result.query_samples, 2_000);
 //! ```
@@ -56,7 +69,7 @@ pub use sf_variant as variant;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use sf_align::{Mapper, MapperConfig};
+    pub use sf_align::{Mapper, MapperClassifier, MapperClassifierConfig, MapperConfig};
     pub use sf_basecall::{BasecallMode, BasecallerKind, GpuBasecallerModel, Platform};
     pub use sf_genome::{Base, Sequence};
     pub use sf_hw::{AcceleratorModel, Tile, TileConfig};
@@ -64,10 +77,14 @@ pub mod prelude {
     pub use sf_pore_model::{KmerModel, ReferenceSquiggle};
     pub use sf_readuntil::{ClassifierPoint, RuntimeModel, SequencingParams};
     pub use sf_sdtw::{
-        BatchClassifier, BatchConfig, BatchReport, FilterConfig, FilterVerdict, MultiStageConfig,
-        MultiStageFilter, SdtwConfig, SquiggleFilter,
+        BatchClassifier, BatchConfig, BatchReport, ClassifierSession, Decision, FilterConfig,
+        FilterVerdict, MultiStageConfig, MultiStageFilter, ReadClassifier, SdtwConfig,
+        SquiggleFilter, StreamClassification,
     };
-    pub use sf_sim::{DatasetBuilder, FlowCellConfig, FlowCellSimulator, ReadUntilPolicy};
+    pub use sf_sim::{
+        ClassifierPolicy, DatasetBuilder, FlowCellConfig, FlowCellSimulator, RatePolicy,
+        ReadUntilPolicy,
+    };
     pub use sf_squiggle::{Normalizer, RawSquiggle};
     pub use sf_variant::{Assembler, AssemblyConfig};
 }

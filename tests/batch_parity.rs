@@ -1,9 +1,9 @@
 //! Integration parity test: the multi-threaded `BatchClassifier` must produce
-//! exactly the verdicts of the sequential `SquiggleFilter::classify` loop.
+//! exactly the outcomes of the sequential streaming loop.
 
 use squigglefilter::metrics::ConfusionMatrix;
 use squigglefilter::prelude::*;
-use squigglefilter::sdtw::Classification;
+use squigglefilter::sdtw::StreamClassification;
 use squigglefilter::sim::Dataset;
 use squigglefilter::squiggle::RawSquiggle;
 
@@ -31,8 +31,11 @@ fn batch_classifier_matches_sequential_loop() {
     let squiggles: Vec<RawSquiggle> = dataset.reads.iter().map(|r| r.squiggle.clone()).collect();
     let labels: Vec<bool> = dataset.reads.iter().map(|r| r.is_target()).collect();
 
-    // The sequential reference path.
-    let sequential: Vec<Classification> = squiggles.iter().map(|s| filter.classify(s)).collect();
+    // The sequential reference path: one streaming session per read.
+    let sequential: Vec<StreamClassification> = squiggles
+        .iter()
+        .map(|s| filter.classify_stream(s))
+        .collect();
     let mut sequential_confusion = ConfusionMatrix::new();
     for (c, &label) in sequential.iter().zip(&labels) {
         sequential_confusion.record(label, c.verdict.is_accept());
@@ -58,6 +61,10 @@ fn batch_classifier_matches_sequential_loop() {
             );
             assert_eq!(
                 got.result, want.result,
+                "read {i} (threads {threads}, chunk {chunk})"
+            );
+            assert_eq!(
+                got.samples_consumed, want.samples_consumed,
                 "read {i} (threads {threads}, chunk {chunk})"
             );
         }

@@ -7,6 +7,7 @@ use squigglefilter::hw::SystolicArray;
 use squigglefilter::prelude::*;
 use squigglefilter::sdtw::IntSdtw;
 use squigglefilter::sim::read::{ReadOrigin, ReadSimulator, ReadSimulatorConfig};
+use squigglefilter::sim::RatePolicy;
 
 #[test]
 fn hardware_and_software_agree_on_simulated_reads() {
@@ -118,13 +119,13 @@ fn read_until_flowcell_enrichment_and_runtime_agree_in_direction() {
         ..Default::default()
     };
     let control = FlowCellSimulator::new(config.clone(), 5).run(None, 60.0);
-    let policy = ReadUntilPolicy {
+    let policy = ReadUntilPolicy::Rates(RatePolicy {
         true_positive_rate: 0.95,
         false_positive_rate: 0.1,
         decision_prefix_samples: 2_000,
         decision_latency_s: 0.0001,
-    };
-    let filtered = FlowCellSimulator::new(config, 5).run(Some(policy), 60.0);
+    });
+    let filtered = FlowCellSimulator::new(config, 5).run(Some(&policy), 60.0);
     assert!(filtered.target_base_fraction() > control.target_base_fraction() * 3.0);
 
     let runtime = RuntimeModel::new(SequencingParams {

@@ -1,0 +1,165 @@
+//! Streaming/one-shot parity: chunked streaming classification must be
+//! bit-identical to the one-shot `classify` on the same prefix, for every
+//! chunk size and both kernel precisions — and chunk boundaries must never
+//! influence when a decision fires.
+
+use squigglefilter::pore_model::AdcModel;
+use squigglefilter::prelude::*;
+use squigglefilter::sdtw::FilterPrecision;
+
+/// The ideal 10-samples-per-base squiggle for a fragment.
+fn noiseless_squiggle(model: &KmerModel, fragment: &Sequence) -> RawSquiggle {
+    model.expected_raw_squiggle(fragment, 10, &AdcModel::default())
+}
+
+fn test_reads(model: &KmerModel, genome: &Sequence) -> Vec<RawSquiggle> {
+    vec![
+        // A matching read longer than the prefix.
+        noiseless_squiggle(model, &genome.subsequence(400, 1_100)),
+        // A background read.
+        noiseless_squiggle(
+            model,
+            &squigglefilter::genome::random::random_genome(77, 700),
+        ),
+        // A short read that ends before the calibration window fills.
+        noiseless_squiggle(model, &genome.subsequence(0, 120)),
+        // Obvious junk: a square wave across the ADC range.
+        RawSquiggle::new(
+            (0..4_000)
+                .map(|i| if i % 2 == 0 { 120 } else { 880 })
+                .collect(),
+            4_000.0,
+        ),
+    ]
+}
+
+#[test]
+fn chunked_streaming_is_bit_identical_to_one_shot() {
+    let model = KmerModel::synthetic_r94(0);
+    let genome = squigglefilter::genome::random::random_genome(12, 2_500);
+    for precision in [FilterPrecision::Int8, FilterPrecision::Float32] {
+        // threshold = MAX: the early-reject bound can never fire, so results
+        // (not just verdicts) must match exactly at every chunk size.
+        let config = FilterConfig {
+            precision,
+            ..FilterConfig::hardware(f64::MAX)
+        };
+        let filter = SquiggleFilter::from_genome(&model, &genome, config);
+        for (r, read) in test_reads(&model, &genome).iter().enumerate() {
+            let want = filter.classify(&read.prefix(config.prefix_samples));
+            for chunk_size in [1usize, 7, 512] {
+                let mut session = filter.start_read();
+                for chunk in read.samples().chunks(chunk_size) {
+                    let _ = session.push_chunk(chunk);
+                }
+                let got = session.finalize();
+                assert_eq!(
+                    got.verdict, want.verdict,
+                    "read {r}, chunk {chunk_size}, {precision:?}"
+                );
+                assert_eq!(
+                    got.result,
+                    Some(want.result),
+                    "read {r}, chunk {chunk_size}, {precision:?}"
+                );
+                assert_eq!(got.score, want.result.cost);
+            }
+        }
+    }
+}
+
+#[test]
+fn early_exit_verdicts_match_one_shot_and_are_chunk_invariant() {
+    let model = KmerModel::synthetic_r94(0);
+    let genome = squigglefilter::genome::random::random_genome(12, 2_500);
+    // A short calibration window so early rejects are reachable, and a
+    // threshold calibrated between a matching and a background read.
+    let normalizer = squigglefilter::squiggle::normalize::NormalizerConfig {
+        calibration_window: 500,
+        ..Default::default()
+    };
+    for precision in [FilterPrecision::Int8, FilterPrecision::Float32] {
+        // Bonus-free kernel: the early-reject bound is then exact in both
+        // cost domains (the match bonus's slack term scales with the Int8
+        // domain and drowns the ~32x smaller Float32 costs; the with-bonus
+        // bound is exercised by the sf-sdtw unit tests).
+        let probe_config = FilterConfig {
+            precision,
+            normalizer,
+            sdtw: SdtwConfig::hardware_without_bonus(),
+            ..FilterConfig::hardware(f64::MAX)
+        };
+        let probe = SquiggleFilter::from_genome(&model, &genome, probe_config);
+        let reads = test_reads(&model, &genome);
+        let t = probe.score(&reads[0]).expect("target scores").cost;
+        let b = probe.score(&reads[1]).expect("background scores").cost;
+        assert!(t < b, "{precision:?}: target {t} vs background {b}");
+        let filter = SquiggleFilter::from_genome(
+            &model,
+            &genome,
+            probe_config.with_threshold((t + b) / 2.0),
+        );
+        for (r, read) in reads.iter().enumerate() {
+            // The early-reject bound is sound: streamed verdicts match the
+            // one-shot verdict on the same prefix...
+            let want = filter.classify(&read.prefix(probe_config.prefix_samples));
+            let reference = filter.classify_stream(read);
+            assert_eq!(reference.verdict, want.verdict, "read {r}, {precision:?}");
+            // ...and the decision point is independent of chunking.
+            for chunk_size in [1usize, 7, 512] {
+                let mut session = filter.start_read();
+                for chunk in read.samples().chunks(chunk_size) {
+                    if session.push_chunk(chunk).is_final() {
+                        break;
+                    }
+                }
+                let got = session.finalize();
+                assert_eq!(
+                    got.verdict, reference.verdict,
+                    "read {r}, chunk {chunk_size}"
+                );
+                assert_eq!(
+                    got.samples_consumed, reference.samples_consumed,
+                    "read {r}, chunk {chunk_size}, {precision:?}"
+                );
+                assert_eq!(got.decided_early, reference.decided_early);
+            }
+        }
+        // The junk read must actually demonstrate an early eject.
+        let junk = filter.classify_stream(&reads[3]);
+        assert_eq!(junk.verdict, FilterVerdict::Reject, "{precision:?}");
+        assert!(junk.decided_early, "{precision:?}");
+        assert!(
+            junk.samples_consumed < probe_config.prefix_samples,
+            "{precision:?}: consumed {}",
+            junk.samples_consumed
+        );
+    }
+}
+
+#[test]
+fn batch_classifier_accepts_filter_and_multistage_through_the_trait() {
+    let model = KmerModel::synthetic_r94(0);
+    let genome = squigglefilter::genome::random::random_genome(12, 2_500);
+    let reads = test_reads(&model, &genome);
+
+    let single = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(30_000.0));
+    let batch_single = BatchClassifier::new(single, BatchConfig::with_threads(2).chunk_size(1));
+    let single_out = batch_single.classify_batch(&reads);
+
+    let reference = ReferenceSquiggle::from_genome(&model, &genome);
+    let staged = MultiStageFilter::new(&reference, MultiStageConfig::two_stage(25_000.0, 60_000.0));
+    let batch_staged = BatchClassifier::new(staged, BatchConfig::with_threads(2).chunk_size(1));
+    let staged_out = batch_staged.classify_batch(&reads);
+
+    assert_eq!(single_out.len(), reads.len());
+    assert_eq!(staged_out.len(), reads.len());
+    for (i, read) in reads.iter().enumerate() {
+        let want = batch_single.classifier().classify_stream(read);
+        assert_eq!(single_out[i].verdict, want.verdict, "single, read {i}");
+        assert_eq!(single_out[i].result, want.result, "single, read {i}");
+        let want = batch_staged.classifier().classify_stream(read);
+        assert_eq!(staged_out[i].verdict, want.verdict, "staged, read {i}");
+        assert_eq!(staged_out[i].result, want.result, "staged, read {i}");
+    }
+}
