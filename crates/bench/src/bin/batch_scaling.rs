@@ -1,6 +1,17 @@
 //! Batch-classification thread sweep (Figure 21 companion): throughput of the
 //! `BatchClassifier` at 1, 2, 4 and 8 worker threads over a simulated
-//! labelled dataset, written to `BENCH_batch.json` for CI trend tracking.
+//! labelled dataset, written to `BENCH_batch.json` for CI trend tracking
+//! (field-by-field reference: `docs/benchmarks.md`).
+//!
+//! The classifier is the paper's multi-stage design (§4.6) on rolling
+//! normalization: a permissive stage-0 test at 1000 samples ejects
+//! obviously-non-target reads as soon as the 1000-sample calibration window
+//! fills, and stage 1 re-examines survivors at the full 2000-sample prefix
+//! with parameters re-estimated every 500 samples. Stage-0 rejects land at
+//! 1000 samples — half the prefix — which is what moves the per-verdict
+//! samples-to-decision distribution. A frozen-full-window single-stage
+//! baseline is scored alongside to keep the accuracy cost of the shorter
+//! window visible (see docs/benchmarks.md).
 //!
 //! Usage: `cargo run --release -p sf-bench --bin batch_scaling [--quick] [--out PATH]`
 //!
@@ -9,13 +20,13 @@
 
 use sf_bench::{print_header, score_dataset, split_costs};
 use sf_metrics::ConfusionMatrix;
-use sf_pore_model::KmerModel;
+use sf_pore_model::{KmerModel, ReferenceSquiggle};
 use sf_sdtw::{
-    calibrate_threshold, BatchClassifier, BatchConfig, FilterConfig, SquiggleFilter,
-    StreamClassification,
+    calibrate_threshold, BatchClassifier, BatchConfig, FilterConfig, MultiStageConfig,
+    MultiStageFilter, SdtwConfig, Stage, StreamClassification,
 };
 use sf_sim::{Dataset, DatasetBuilder};
-use sf_squiggle::RawSquiggle;
+use sf_squiggle::{NormalizerConfig, RawSquiggle};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -122,35 +133,67 @@ fn main() {
         .build();
     let model = KmerModel::synthetic_r94(0);
 
-    // The paper's hardware config: the 2000-sample calibration window (==
-    // the decision prefix) is the accuracy backbone on noisy signal, so with
-    // today's freeze-after-window normalizer every full-length decision
-    // lands at exactly 2000 samples. The samples-to-decision distribution
-    // below is recorded anyway: it is the metric that moves once rolling
-    // re-estimation / shorter-window normalization lets the sound early
-    // rejects fire mid-prefix (see ROADMAP open items).
-    let base_config = FilterConfig::hardware(f64::MAX);
+    // Rolling normalization: a 1000-sample calibration window (equal to the
+    // stage-0 prefix, so stage-0 decisions become available the moment the
+    // window fills) re-estimated every 500 samples. The ASIC's own schedule
+    // is window == interval == 2000; shortening both is what buys ejection
+    // latency, at an accuracy cost the frozen baseline below keeps honest.
+    let normalizer = NormalizerConfig::default()
+        .with_calibration_window(1_000)
+        .with_recalibration_interval(500);
 
-    // Calibrate the verdict threshold on the dataset itself (best F1).
-    let scored = score_dataset(&dataset, base_config, 0);
-    let (target_costs, background_costs) = split_costs(&scored);
-    let threshold = calibrate_threshold(&target_costs, &background_costs)
-        .best_f1()
-        .map_or(50_000.0, |point| point.threshold);
-    let filter = SquiggleFilter::from_genome(
-        &model,
-        &dataset.target_genome,
-        base_config.with_threshold(threshold),
-    );
+    // Stage thresholds are TPR-anchored (losing target reads is the
+    // permanent failure mode for Read Until), each calibrated in its own
+    // cost domain: single-stage scoring at the stage's prefix under the
+    // identical rolling normalizer reproduces exactly the costs the staged
+    // filter sees at that boundary.
+    let stage_prefixes = [1_000usize, 2_000];
+    let stage_min_tpr = [0.95, 0.90];
+    let mut stages = Vec::new();
+    for (&prefix, &min_tpr) in stage_prefixes.iter().zip(&stage_min_tpr) {
+        let stage_config = FilterConfig {
+            normalizer,
+            ..FilterConfig::hardware(f64::MAX)
+        }
+        .with_prefix_samples(prefix);
+        let scored = score_dataset(&dataset, stage_config, 0);
+        let (target_costs, background_costs) = split_costs(&scored);
+        let threshold = calibrate_threshold(&target_costs, &background_costs)
+            .threshold_for_tpr(min_tpr)
+            .map_or(f64::MAX, |p| p.threshold);
+        stages.push(Stage {
+            prefix_samples: prefix,
+            threshold,
+        });
+    }
+    let staged_config = MultiStageConfig {
+        sdtw: SdtwConfig::hardware(),
+        stages: stages.clone(),
+        normalizer,
+    };
+    let reference = ReferenceSquiggle::from_genome(&model, &dataset.target_genome);
+    let filter = MultiStageFilter::new(&reference, staged_config.clone());
+
+    // Frozen-full-window single-stage baseline (the pre-rolling behaviour):
+    // same dataset, default normalizer, best-F1 threshold. Costs only a
+    // scoring pass; the delta quantifies what the staged rolling
+    // configuration trades for its latency.
+    let frozen_scored = score_dataset(&dataset, FilterConfig::hardware(f64::MAX), 0);
+    let (frozen_t, frozen_b) = split_costs(&frozen_scored);
+    let frozen_point = calibrate_threshold(&frozen_t, &frozen_b).best_f1();
 
     let squiggles: Vec<RawSquiggle> = dataset.reads.iter().map(|r| r.squiggle.clone()).collect();
     let labels: Vec<bool> = dataset.reads.iter().map(|r| r.is_target()).collect();
     let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "dataset: {} reads, genome {} bp, threshold {:.0}, machine parallelism {}",
+        "dataset: {} reads, genome {} bp, stages {}, machine parallelism {}",
         squiggles.len(),
         dataset.target_genome.len(),
-        threshold,
+        stages
+            .iter()
+            .map(|s| format!("{}@{:.0}", s.prefix_samples, s.threshold))
+            .collect::<Vec<_>>()
+            .join(" -> "),
         parallelism
     );
     println!();
@@ -197,20 +240,43 @@ fn main() {
     }
 
     let stats = stats.expect("at least one sweep point ran");
+    let prefix_samples = stages.last().expect("two stages").prefix_samples;
     println!();
     println!(
         "samples-to-decision: accept p50 {} / p95 {} ({} reads), reject p50 {} / p95 {} \
-         ({} reads), {:.0}% decided early",
+         ({} reads), {:.0}% decided early (prefix {})",
         stats.accept.p50,
         stats.accept.p95,
         stats.accept.count,
         stats.reject.p50,
         stats.reject.p95,
         stats.reject.count,
-        stats.early_fraction * 100.0
+        stats.early_fraction * 100.0,
+        prefix_samples,
     );
+    if let (Some(point), Some(frozen)) = (points.first(), &frozen_point) {
+        println!(
+            "normalization: staged rolling (window {}/interval {}) tpr {:.2} fpr {:.2} vs \
+             frozen single-stage window {} tpr {:.2} fpr {:.2}",
+            normalizer.calibration_window,
+            normalizer.recalibration_interval,
+            point.confusion.true_positive_rate(),
+            point.confusion.false_positive_rate(),
+            NormalizerConfig::default().calibration_window,
+            frozen.true_positive_rate,
+            frozen.false_positive_rate,
+        );
+    }
 
-    let json = render_json(&dataset, threshold, parallelism, quick, &points, &stats);
+    let json = render_json(
+        &dataset,
+        &staged_config,
+        parallelism,
+        quick,
+        &points,
+        &stats,
+        frozen_point.as_ref(),
+    );
     std::fs::write(&out_path, json).expect("write BENCH_batch.json");
     println!();
     println!("wrote {out_path}");
@@ -218,12 +284,14 @@ fn main() {
 
 fn render_json(
     dataset: &Dataset,
-    threshold: f64,
+    config: &MultiStageConfig,
     parallelism: usize,
     quick: bool,
     points: &[SweepPoint],
     stats: &DecisionStats,
+    frozen_point: Option<&sf_sdtw::OperatingPoint>,
 ) -> String {
+    let last_stage = config.stages.last().expect("stages are non-empty");
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"batch_scaling\",");
@@ -231,9 +299,43 @@ fn render_json(
     let _ = writeln!(json, "  \"dataset\": {{");
     let _ = writeln!(json, "    \"name\": \"{}\",", dataset.name);
     let _ = writeln!(json, "    \"reads\": {},", dataset.reads.len());
-    let _ = writeln!(json, "    \"genome_bp\": {},", dataset.target_genome.len());
-    let _ = writeln!(json, "    \"threshold\": {threshold:.3}");
+    let _ = writeln!(json, "    \"genome_bp\": {}", dataset.target_genome.len());
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"config\": {{");
+    let _ = writeln!(
+        json,
+        "    \"prefix_samples\": {},",
+        last_stage.prefix_samples
+    );
+    let _ = writeln!(json, "    \"stages\": [");
+    for (i, stage) in config.stages.iter().enumerate() {
+        let comma = if i + 1 < config.stages.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"prefix_samples\": {}, \"threshold\": {:.3} }}{comma}",
+            stage.prefix_samples, stage.threshold
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"calibration_window\": {},",
+        config.normalizer.calibration_window
+    );
+    let _ = writeln!(
+        json,
+        "    \"recalibration_interval\": {}",
+        config.normalizer.recalibration_interval
+    );
+    let _ = writeln!(json, "  }},");
+    if let Some(frozen) = frozen_point {
+        let _ = writeln!(json, "  \"frozen_window_baseline\": {{");
+        let _ = writeln!(json, "    \"threshold\": {:.3},", frozen.threshold);
+        let _ = writeln!(json, "    \"tpr\": {:.4},", frozen.true_positive_rate);
+        let _ = writeln!(json, "    \"fpr\": {:.4},", frozen.false_positive_rate);
+        let _ = writeln!(json, "    \"f1\": {:.4}", frozen.f1);
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(
         json,
         "  \"machine\": {{ \"available_parallelism\": {parallelism} }},"

@@ -88,10 +88,36 @@ pub struct StreamClassification {
 /// An in-progress streaming classification of one read.
 ///
 /// Sessions are cheap to create (one per read) and hold the classifier's
-/// incremental state: buffered calibration samples, a partially-filled DP row,
-/// or a growing basecall buffer. After a final decision further chunks are
-/// ignored and [`ClassifierSession::push_chunk`] keeps returning the same
-/// decision.
+/// incremental state: buffered calibration samples, rolling normalization
+/// parameters, a partially-filled DP row, or a growing basecall buffer.
+/// After a final decision further chunks are ignored and
+/// [`ClassifierSession::push_chunk`] keeps returning the same decision.
+///
+/// # Examples
+///
+/// The Read Until loop in miniature — push chunks until the session commits,
+/// then finalize:
+///
+/// ```
+/// use sf_sdtw::{ClassifierSession, Decision, FilterConfig, ReadClassifier, SquiggleFilter};
+/// use sf_pore_model::KmerModel;
+/// use sf_genome::random::random_genome;
+///
+/// let model = KmerModel::synthetic_r94(0);
+/// let genome = random_genome(5, 1_200);
+/// let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(f64::MAX));
+///
+/// let mut session = filter.start_read();
+/// assert_eq!(session.decision(), Decision::Wait);
+/// let read = vec![480u16; 2_500];
+/// for chunk in read.chunks(400) {
+///     if session.push_chunk(chunk).is_final() {
+///         break; // a real driver would tell the sequencer here
+///     }
+/// }
+/// let outcome = session.finalize();
+/// assert!(outcome.samples_consumed <= filter.max_decision_samples());
+/// ```
 pub trait ClassifierSession {
     /// Feeds the next chunk of raw ADC samples, returning the current
     /// decision. Chunk boundaries never affect the outcome: any chunking of
@@ -118,6 +144,34 @@ pub trait ClassifierSession {
 /// The trait is object-safe: consumers that must be classifier-agnostic at
 /// runtime (the flow-cell simulator's Read Until policy) hold a
 /// `Box<dyn ReadClassifier>`.
+///
+/// # Examples
+///
+/// Streaming a whole squiggle through a fresh session is equivalent to any
+/// chunked feeding of the same samples — [`ReadClassifier::classify_stream`]
+/// is exactly that loop:
+///
+/// ```
+/// use sf_sdtw::{FilterConfig, ReadClassifier, SquiggleFilter};
+/// use sf_pore_model::KmerModel;
+/// use sf_genome::random::random_genome;
+/// use sf_squiggle::RawSquiggle;
+///
+/// let model = KmerModel::synthetic_r94(0);
+/// let genome = random_genome(5, 1_200);
+/// let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(f64::MAX));
+///
+/// let read = RawSquiggle::new(vec![480u16; 2_500], 4_000.0);
+/// let whole = filter.classify_stream(&read);
+///
+/// let mut session = filter.start_read();
+/// for chunk in read.samples().chunks(7) {
+///     let _ = session.push_chunk(chunk);
+/// }
+/// let chunked = session.finalize();
+/// assert_eq!(whole.verdict, chunked.verdict);
+/// assert_eq!(whole.result, chunked.result);
+/// ```
 pub trait ReadClassifier {
     /// Opens a streaming session for one read.
     fn start_read(&self) -> Box<dyn ClassifierSession + '_>;
@@ -146,113 +200,18 @@ impl<T: ReadClassifier + ?Sized> ReadClassifier for &T {
     }
 }
 
-/// Shared scaffolding of the sDTW streaming sessions: buffers raw samples
-/// until the normalizer's calibration window fills, freezes the
-/// normalization parameters, and from then on feeds normalized samples to
-/// the session's per-sample sink (which returns `true` to stop after a
-/// final decision). Keeping this logic in one place keeps the single-stage
-/// and multi-stage sessions bit-identical in how they normalize — the
-/// property the streaming/one-shot parity tests pin down.
-#[derive(Debug, Clone)]
-pub(crate) struct CalibratingFeed {
-    /// Raw samples buffered before the calibration window fills.
-    pending: Vec<u16>,
-    /// Normalization parameters, frozen once calibrated.
-    params: Option<sf_squiggle::normalize::NormalizationParams>,
-    /// Raw samples accepted so far (never exceeds `budget`).
-    received: usize,
-    /// Raw samples needed before parameters can be estimated.
-    calibration_point: usize,
-    /// Maximum raw samples the session will ever accept.
-    budget: usize,
-    /// Outlier clip applied after normalization.
-    clip: f32,
-}
-
-impl CalibratingFeed {
-    pub(crate) fn new(calibration_point: usize, budget: usize, clip: f32) -> Self {
-        CalibratingFeed {
-            pending: Vec::new(),
-            params: None,
-            received: 0,
-            calibration_point: calibration_point.min(budget),
-            budget,
-            clip,
-        }
-    }
-
-    /// Raw samples accepted so far.
-    pub(crate) fn received(&self) -> usize {
-        self.received
-    }
-
-    /// Raw-sample count at which a decision made at DP row `n` became
-    /// available: never before the calibration window filled, and never more
-    /// samples than the read actually delivered.
-    pub(crate) fn decision_point(&self, n: usize) -> usize {
-        n.max(self.calibration_point).min(self.received)
-    }
-
-    /// Accepts a chunk (clipped to the remaining budget). Once the
-    /// calibration window fills, drains the buffer and all further samples
-    /// through `sink`.
-    pub(crate) fn push(
-        &mut self,
-        normalizer: &sf_squiggle::Normalizer,
-        chunk: &[u16],
-        sink: &mut dyn FnMut(f32) -> bool,
-    ) {
-        let take = &chunk[..chunk.len().min(self.budget - self.received)];
-        self.received += take.len();
-        match self.params {
-            None => {
-                self.pending.extend_from_slice(take);
-                if self.pending.len() >= self.calibration_point {
-                    self.calibrate(normalizer, sink);
-                }
-            }
-            Some(params) => Self::feed(params, self.clip, take, sink),
-        }
-    }
-
-    /// End-of-read: calibrates on whatever is buffered, exactly like the
-    /// one-shot path does on a short prefix.
-    pub(crate) fn flush(
-        &mut self,
-        normalizer: &sf_squiggle::Normalizer,
-        sink: &mut dyn FnMut(f32) -> bool,
-    ) {
-        if self.params.is_none() && !self.pending.is_empty() {
-            self.calibrate(normalizer, sink);
-        }
-    }
-
-    fn calibrate(
-        &mut self,
-        normalizer: &sf_squiggle::Normalizer,
-        sink: &mut dyn FnMut(f32) -> bool,
-    ) {
-        let params = normalizer.estimate(&self.pending);
-        self.params = Some(params);
-        let buffered = std::mem::take(&mut self.pending);
-        Self::feed(params, self.clip, &buffered, sink);
-    }
-
-    fn feed(
-        params: sf_squiggle::normalize::NormalizationParams,
-        clip: f32,
-        raw: &[u16],
-        sink: &mut dyn FnMut(f32) -> bool,
-    ) {
-        for &sample in raw {
-            // The shared per-sample formula keeps streaming bit-identical to
-            // the one-shot path.
-            if sink(params.apply(sample as f32, clip)) {
-                break;
-            }
-        }
-    }
-}
+// Shared scaffolding of the sDTW streaming sessions, defined in
+// `sf_squiggle::normalize` where it also backs the batch normalization entry
+// points. The feed buffers raw samples until the normalizer's calibration
+// window fills, estimates the normalization parameters, re-estimates them
+// over the trailing window every `NormalizerConfig::recalibration_interval`
+// samples, and drains normalized samples through the session's per-sample
+// sink (which returns `true` to stop after a final decision). One shared
+// state machine is what keeps the single-stage and multi-stage sessions —
+// and the one-shot `classify` paths — bit-identical in how they normalize,
+// the property the streaming/one-shot parity tests pin down even when
+// parameters drift mid-read.
+pub(crate) use sf_squiggle::normalize::CalibratingFeed;
 
 #[cfg(test)]
 mod tests {

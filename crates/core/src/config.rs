@@ -164,6 +164,17 @@ impl SdtwConfig {
     /// `current_cost - early_reject_slack(remaining) > threshold`, the
     /// verdict at the full prefix is already determined, so early exit never
     /// changes a verdict — only how many samples a reject costs.
+    ///
+    /// The bound survives **rolling normalization re-estimation**
+    /// (`NormalizerConfig::recalibration_interval`): the potential argument
+    /// above holds for *arbitrary* future query samples — it never assumes
+    /// anything about their values, only that each pushed sample performs one
+    /// DP transition — so re-scaled normalization parameters changing the
+    /// values of future samples cannot invalidate it. And because the
+    /// one-shot path replays the identical recalibration schedule, the
+    /// verdict the early reject commits to is still exactly the verdict
+    /// `classify` reaches on the full prefix. The expanded proof lives in
+    /// `docs/streaming.md`.
     pub fn early_reject_slack(&self, remaining_samples: usize) -> f64 {
         match self.match_bonus {
             None => 0.0,

@@ -322,11 +322,7 @@ impl SquiggleFilter {
         let interval = self.config.early_exit_interval;
         SquiggleFilterSession {
             filter: self,
-            feed: CalibratingFeed::new(
-                self.config.normalizer.calibration_window,
-                self.config.prefix_samples,
-                self.config.normalizer.outlier_clip,
-            ),
+            feed: CalibratingFeed::new(self.config.normalizer, self.config.prefix_samples),
             kernel,
             decision: Decision::Wait,
             decided_early: false,
@@ -380,9 +376,11 @@ impl SessionKernel<'_> {
 /// A streaming [`SquiggleFilter`] classification of one read.
 ///
 /// The session buffers raw samples until the normalizer's calibration window
-/// fills, then normalizes incrementally with the frozen parameters and feeds
-/// the resumable DP stream — so any chunking of the same sample stream is
-/// bit-identical to the one-shot [`SquiggleFilter::classify`] on the same
+/// fills, then normalizes incrementally — re-estimating the parameters over
+/// the trailing window every `NormalizerConfig::recalibration_interval`
+/// samples — and feeds the resumable DP stream. The one-shot
+/// [`SquiggleFilter::classify`] runs the identical rolling state machine, so
+/// any chunking of the same sample stream is bit-identical to it on the same
 /// prefix. Between calibration and the full `prefix_samples`, a sound
 /// early-reject bound fires for clearly-non-target reads before the prefix
 /// completes (checked every `early_exit_interval` samples).
@@ -391,8 +389,10 @@ impl SessionKernel<'_> {
 /// `calibration_window` raw samples, no decision can fire before that window
 /// has arrived: with the default window equal to `prefix_samples`, early
 /// exit saves DP work but not sequencing time. Configure a shorter window
-/// (e.g. 500–1000 samples) when streaming ejection latency matters; the
-/// one-shot path uses the same window, so parity is preserved.
+/// plus a `recalibration_interval` below `prefix_samples` when streaming
+/// ejection latency matters — the rolling re-estimation recovers the
+/// accuracy a short *frozen* window would lose, and the one-shot path uses
+/// the same schedule, so parity is preserved (see `docs/streaming.md`).
 #[derive(Debug, Clone)]
 pub struct SquiggleFilterSession<'a> {
     filter: &'a SquiggleFilter,
@@ -475,7 +475,7 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             ..
         } = self;
         let config = filter.config;
-        feed.push(&filter.normalizer, chunk, &mut |z| {
+        feed.push(chunk, &mut |z| {
             advance(&config, kernel, decision, result, next_check, z)
         });
         if self.decision.is_final() {
@@ -499,7 +499,6 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             // on what we have (which can itself reach a decision — but one
             // that saved nothing, the read is already over).
             let Self {
-                filter,
                 feed,
                 kernel,
                 decision,
@@ -507,9 +506,7 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
                 next_check,
                 ..
             } = self;
-            feed.flush(&filter.normalizer, &mut |z| {
-                advance(&config, kernel, decision, result, next_check, z)
-            });
+            feed.flush(&mut |z| advance(&config, kernel, decision, result, next_check, z));
             if self.decision.is_final() {
                 self.record_decision_point(false);
             }

@@ -162,9 +162,10 @@ impl MultiStageFilter {
                 },
             };
         }
-        // Normalize once over the longest prefix we may need; the hardware
-        // normalizer similarly re-estimates every 2000 samples but the first
-        // window dominates.
+        // Normalize over the longest prefix we may need; normalize_raw runs
+        // the same rolling re-estimation schedule the streaming sessions use
+        // (every `recalibration_interval` samples over the trailing window),
+        // which is what keeps the two paths bit-identical.
         let max_prefix = self.config.stages[last_stage].prefix_samples;
         let prefix = squiggle.prefix(max_prefix);
         let query = self.normalizer.normalize_raw_quantized(prefix.samples());
@@ -206,11 +207,7 @@ impl MultiStageFilter {
     pub fn session(&self) -> MultiStageSession<'_> {
         MultiStageSession {
             filter: self,
-            feed: CalibratingFeed::new(
-                self.config.normalizer.calibration_window,
-                self.max_decision_samples(),
-                self.config.normalizer.outlier_clip,
-            ),
+            feed: CalibratingFeed::new(self.config.normalizer, self.max_decision_samples()),
             stream: self.kernel.stream(),
             stage: 0,
             decision: Decision::Wait,
@@ -243,12 +240,15 @@ impl ReadClassifier for MultiStageFilter {
 /// path on the same prefix.
 ///
 /// Decision timing: normalization parameters come from the first
-/// `calibration_window` raw samples, so a stage whose prefix is shorter than
-/// the window can only *fire* once the window has filled — the session's
-/// `samples_consumed` reports that honest raw-signal arrival time, whereas
-/// the one-shot [`StagedClassification::samples_used`] reports the DP
-/// position of the deciding stage. Give the config a window no longer than
-/// the first stage's prefix when streaming ejection latency matters.
+/// `calibration_window` raw samples (and are re-estimated every
+/// `recalibration_interval` samples thereafter), so a stage whose prefix is
+/// shorter than the window can only *fire* once the window has filled — the
+/// session's `samples_consumed` reports that honest raw-signal arrival time,
+/// whereas the one-shot [`StagedClassification::samples_used`] reports the
+/// DP position of the deciding stage. Give the config a window no longer
+/// than the first stage's prefix when streaming ejection latency matters;
+/// rolling re-estimation keeps later stages accurate despite the short
+/// initial window.
 #[derive(Debug, Clone)]
 pub struct MultiStageSession<'a> {
     filter: &'a MultiStageFilter,
@@ -329,7 +329,7 @@ impl ClassifierSession for MultiStageSession<'_> {
             ..
         } = self;
         let stages = &filter.config.stages;
-        feed.push(&filter.normalizer, chunk, &mut |z| {
+        feed.push(chunk, &mut |z| {
             advance(stages, stream, stage, decision, result, z)
         });
         if self.decision.is_final() {
@@ -361,9 +361,7 @@ impl ClassifierSession for MultiStageSession<'_> {
                 ..
             } = self;
             let stages = &filter.config.stages;
-            feed.flush(&filter.normalizer, &mut |z| {
-                advance(stages, stream, stage, decision, result, z)
-            });
+            feed.flush(&mut |z| advance(stages, stream, stage, decision, result, z));
             if self.decision.is_final() {
                 self.record_decision_point(false);
             }

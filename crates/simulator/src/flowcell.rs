@@ -210,6 +210,12 @@ pub struct FlowCellRun {
     pub total_reads: u64,
     /// Number of reads ejected by Read Until.
     pub ejected_reads: u64,
+    /// Raw samples consumed by eject decisions, summed over all ejected
+    /// reads — the sequencing time Read Until spent *deciding*. With a
+    /// rolling-normalization classifier (`recalibration_interval` below the
+    /// decision prefix) this drops below `ejected_reads × prefix`, which is
+    /// exactly the ejection-latency win the rolling re-estimation buys.
+    pub eject_decision_samples: u64,
     /// Channels still active at the end of the run.
     pub final_active_channels: usize,
 }
@@ -222,6 +228,15 @@ impl FlowCellRun {
             return 0.0;
         }
         self.target_bases as f64 / self.total_bases as f64
+    }
+
+    /// Mean raw samples an eject decision consumed (0 when nothing was
+    /// ejected) — how early, on average, the policy pulled the trigger.
+    pub fn mean_eject_decision_samples(&self) -> f64 {
+        if self.ejected_reads == 0 {
+            return 0.0;
+        }
+        self.eject_decision_samples as f64 / self.ejected_reads as f64
     }
 }
 
@@ -280,6 +295,7 @@ impl FlowCellSimulator {
         let mut target_bases = 0u64;
         let mut total_reads = 0u64;
         let mut ejected_reads = 0u64;
+        let mut eject_decision_samples = 0u64;
         let mut final_active = 0usize;
 
         let mut wash_times = cfg.wash_times_s.clone();
@@ -339,6 +355,12 @@ impl FlowCellSimulator {
                                 + p.decision_latency_s;
                             let duration = decision_time.min(full_duration);
                             ejected_reads += 1;
+                            // A read shorter than the decision prefix only
+                            // delivers its own samples (mirrors the honest
+                            // `samples_consumed` of the Classifier branch).
+                            eject_decision_samples += (p.decision_prefix_samples as f64)
+                                .min(full_duration * cfg.sample_rate_hz)
+                                as u64;
                             (duration, duration * cfg.bases_per_second)
                         }
                     }
@@ -354,6 +376,7 @@ impl FlowCellSimulator {
                                 + p.decision_latency_s;
                             let duration = decision_time.min(full_duration);
                             ejected_reads += 1;
+                            eject_decision_samples += outcome.samples_consumed as u64;
                             (duration, duration * cfg.bases_per_second)
                         }
                     }
@@ -431,6 +454,7 @@ impl FlowCellSimulator {
             target_bases,
             total_reads,
             ejected_reads,
+            eject_decision_samples,
             final_active_channels: final_active,
         }
     }
@@ -582,31 +606,48 @@ mod tests {
 
     /// Builds a calibrated SquiggleFilter policy over a small genome pair:
     /// the threshold is the midpoint between one synthesized target read's
-    /// cost and one background read's cost.
-    fn squiggle_filter_policy(model_seed: u64) -> ClassifierPolicy {
+    /// cost and one background read's cost, scored under the same
+    /// normalization schedule the policy will run with.
+    fn squiggle_filter_policy(
+        model_seed: u64,
+        normalizer: sf_squiggle::NormalizerConfig,
+    ) -> ClassifierPolicy {
         use sf_sdtw::{FilterConfig, SquiggleFilter};
 
         let target_genome = sf_genome::random::random_genome(71, 2_000);
         let background_genome = sf_genome::random::human_like_background(72, 40_000);
         let model = KmerModel::synthetic_r94(model_seed);
         let signal = SquiggleSimulatorConfig::default();
+        let base_config = FilterConfig {
+            normalizer,
+            ..FilterConfig::hardware(f64::MAX)
+        };
 
-        let probe =
-            SquiggleFilter::from_genome(&model, &target_genome, FilterConfig::hardware(f64::MAX));
+        let probe = SquiggleFilter::from_genome(&model, &target_genome, base_config);
         let mut sim = SquiggleSimulator::new(model.clone(), signal, 7);
-        let target_read = sim.synthesize(&target_genome.subsequence(300, 1_300));
-        let background_read = sim.synthesize(&background_genome.subsequence(0, 1_000));
-        let t = probe.score(&target_read).expect("target scores").cost;
-        let b = probe
-            .score(&background_read)
-            .expect("background scores")
-            .cost;
+        let target_reads: Vec<_> = [(300, 1_300), (600, 1_600), (900, 1_900)]
+            .iter()
+            .map(|&(a, b)| sim.synthesize(&target_genome.subsequence(a, b)))
+            .collect();
+        let background_reads: Vec<_> = [(0, 1_000), (5_000, 6_000), (11_000, 12_000)]
+            .iter()
+            .map(|&(a, b)| sim.synthesize(&background_genome.subsequence(a, b)))
+            .collect();
+        let cost = |reads: &[sf_squiggle::RawSquiggle]| {
+            reads
+                .iter()
+                .map(|r| probe.score(r).expect("probe read scores").cost)
+                .sum::<f64>()
+                / reads.len() as f64
+        };
+        let t = cost(&target_reads);
+        let b = cost(&background_reads);
         assert!(t < b, "calibration failed: target {t} vs background {b}");
 
         let filter = SquiggleFilter::from_genome(
             &model,
             &target_genome,
-            FilterConfig::hardware((t + b) / 2.0),
+            base_config.with_threshold((t + b) / 2.0),
         );
         ClassifierPolicy {
             classifier: Box::new(filter),
@@ -630,7 +671,10 @@ mod tests {
             mean_read_length: 6_000.0,
             ..Default::default()
         };
-        let policy = ReadUntilPolicy::Classifier(squiggle_filter_policy(0));
+        let policy = ReadUntilPolicy::Classifier(squiggle_filter_policy(
+            0,
+            sf_squiggle::NormalizerConfig::default(),
+        ));
         let control = FlowCellSimulator::new(config.clone(), 11).run(None, 30.0);
         let filtered = FlowCellSimulator::new(config, 11).run(Some(&policy), 30.0);
         assert!(filtered.ejected_reads > 0, "classifier never ejected");
@@ -654,6 +698,45 @@ mod tests {
         };
         let again = FlowCellSimulator::new(config2, 11).run(Some(&policy), 30.0);
         assert_eq!(filtered, again);
+    }
+
+    #[test]
+    fn rolling_normalization_ejects_before_the_decision_prefix() {
+        // A short calibration window plus mid-prefix recalibration lets the
+        // sound early-reject bound fire while the read is still streaming:
+        // the mean eject decision must land below the 2000-sample prefix
+        // that a frozen full-window policy is pinned to.
+        let config = FlowCellConfig {
+            channels: 4,
+            duration_s: 240.0,
+            target_fraction: 0.3,
+            mean_read_length: 6_000.0,
+            ..Default::default()
+        };
+        let frozen_policy = ReadUntilPolicy::Classifier(squiggle_filter_policy(
+            0,
+            sf_squiggle::NormalizerConfig::default(),
+        ));
+        let rolling_policy = ReadUntilPolicy::Classifier(squiggle_filter_policy(
+            0,
+            sf_squiggle::NormalizerConfig::default()
+                .with_calibration_window(1_000)
+                .with_recalibration_interval(500),
+        ));
+        let frozen = FlowCellSimulator::new(config.clone(), 11).run(Some(&frozen_policy), 30.0);
+        let rolling = FlowCellSimulator::new(config, 11).run(Some(&rolling_policy), 30.0);
+        assert!(rolling.ejected_reads > 0);
+        assert!(
+            rolling.mean_eject_decision_samples() < 2_000.0,
+            "rolling policy should decide mid-prefix, got {}",
+            rolling.mean_eject_decision_samples()
+        );
+        assert!(
+            rolling.mean_eject_decision_samples() < frozen.mean_eject_decision_samples(),
+            "rolling {} vs frozen {}",
+            rolling.mean_eject_decision_samples(),
+            frozen.mean_eject_decision_samples()
+        );
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod normalize;
 pub mod signal;
 
 pub use events::{Event, EventDetector, EventDetectorConfig};
-pub use normalize::{NormalizationParams, Normalizer, NormalizerConfig, ScaleEstimator};
+pub use normalize::{
+    CalibratingFeed, NormalizationParams, Normalizer, NormalizerConfig, ScaleEstimator,
+};
 pub use signal::{
     PicoampSquiggle, RawSquiggle, SignalStats, DEFAULT_SAMPLE_RATE_HZ, SAMPLES_PER_BASE,
 };

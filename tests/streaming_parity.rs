@@ -137,6 +137,127 @@ fn early_exit_verdicts_match_one_shot_and_are_chunk_invariant() {
     }
 }
 
+/// Adds a linear upward baseline drift (1 ADC count every 64 samples, ~31
+/// counts over a 2000-sample prefix) to a squiggle — the pore-bias wander
+/// that rolling recalibration absorbs.
+fn with_drift(squiggle: &RawSquiggle) -> RawSquiggle {
+    RawSquiggle::new(
+        squiggle
+            .samples()
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| s.saturating_add((i / 64) as u16))
+            .collect(),
+        4_000.0,
+    )
+}
+
+#[test]
+fn rolling_recalibration_stays_bit_identical_on_drifting_baselines() {
+    // Rolling re-estimation fires mid-prefix (window 500, re-estimated every
+    // 250 samples < prefix 2000): chunked streaming must still be
+    // bit-identical to the one-shot path on the same prefix, for every chunk
+    // size and both precisions, even while the parameters drift.
+    let model = KmerModel::synthetic_r94(0);
+    let genome = squigglefilter::genome::random::random_genome(12, 2_500);
+    let normalizer = squigglefilter::squiggle::normalize::NormalizerConfig::default()
+        .with_calibration_window(500)
+        .with_recalibration_interval(250);
+    for precision in [FilterPrecision::Int8, FilterPrecision::Float32] {
+        // threshold = MAX: the early-reject bound can never fire, so results
+        // (not just verdicts) must match exactly at every chunk size.
+        let config = FilterConfig {
+            precision,
+            normalizer,
+            ..FilterConfig::hardware(f64::MAX)
+        };
+        let filter = SquiggleFilter::from_genome(&model, &genome, config);
+        for (r, read) in test_reads(&model, &genome).iter().enumerate() {
+            let read = with_drift(read);
+            let want = filter.classify(&read.prefix(config.prefix_samples));
+            for chunk_size in [1usize, 7, 512] {
+                let mut session = filter.start_read();
+                for chunk in read.samples().chunks(chunk_size) {
+                    let _ = session.push_chunk(chunk);
+                }
+                let got = session.finalize();
+                assert_eq!(
+                    got.verdict, want.verdict,
+                    "read {r}, chunk {chunk_size}, {precision:?}"
+                );
+                assert_eq!(
+                    got.result,
+                    Some(want.result),
+                    "read {r}, chunk {chunk_size}, {precision:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rolling_recalibration_decides_before_the_prefix() {
+    // With recalibration_interval below prefix_samples, the sound early
+    // reject fires mid-prefix on a drifting baseline — the ejection-latency
+    // win rolling re-estimation exists for.
+    let model = KmerModel::synthetic_r94(0);
+    let genome = squigglefilter::genome::random::random_genome(12, 2_500);
+    // A 1000-sample window re-estimated every 500: short enough that
+    // decisions fire mid-prefix, long enough that the estimate keeps the
+    // target/background cost separation (a 500-sample window collapses it).
+    let normalizer = squigglefilter::squiggle::normalize::NormalizerConfig::default()
+        .with_calibration_window(1_000)
+        .with_recalibration_interval(500);
+    for precision in [FilterPrecision::Int8, FilterPrecision::Float32] {
+        // Bonus-free kernel: the early-reject bound is exact in both cost
+        // domains (see early_exit_verdicts_match_one_shot_and_are_chunk_invariant).
+        let probe_config = FilterConfig {
+            precision,
+            normalizer,
+            sdtw: SdtwConfig::hardware_without_bonus(),
+            ..FilterConfig::hardware(f64::MAX)
+        };
+        let probe = SquiggleFilter::from_genome(&model, &genome, probe_config);
+        let reads: Vec<RawSquiggle> = test_reads(&model, &genome).iter().map(with_drift).collect();
+        let t = probe.score(&reads[0]).expect("target scores").cost;
+        let b = probe.score(&reads[1]).expect("background scores").cost;
+        assert!(t < b, "{precision:?}: target {t} vs background {b}");
+        let filter = SquiggleFilter::from_genome(
+            &model,
+            &genome,
+            probe_config.with_threshold((t + b) / 2.0),
+        );
+        // The drifting square wave decides well before the 2000-sample
+        // prefix — and the early verdict matches the one-shot path.
+        let junk = filter.classify_stream(&reads[3]);
+        assert_eq!(junk.verdict, FilterVerdict::Reject, "{precision:?}");
+        assert!(junk.decided_early, "{precision:?}");
+        assert!(
+            junk.samples_consumed < probe_config.prefix_samples,
+            "{precision:?}: consumed {}",
+            junk.samples_consumed
+        );
+        assert_eq!(
+            filter
+                .classify(&reads[3].prefix(probe_config.prefix_samples))
+                .verdict,
+            FilterVerdict::Reject,
+            "{precision:?}: early reject must match one-shot"
+        );
+        // And the decision point is chunk-invariant.
+        for chunk_size in [1usize, 7, 512] {
+            let mut session = filter.start_read();
+            for chunk in reads[3].samples().chunks(chunk_size) {
+                if session.push_chunk(chunk).is_final() {
+                    break;
+                }
+            }
+            let got = session.finalize();
+            assert_eq!(got.samples_consumed, junk.samples_consumed, "{precision:?}");
+        }
+    }
+}
+
 #[test]
 fn batch_classifier_accepts_filter_and_multistage_through_the_trait() {
     let model = KmerModel::synthetic_r94(0);
