@@ -19,14 +19,17 @@
 //! CI bench-smoke job); the default size is meant for real measurements.
 
 use sf_bench::{print_header, score_dataset, split_costs};
+use sf_hw::perf::AcceleratorModel;
 use sf_metrics::ConfusionMatrix;
 use sf_pore_model::{KmerModel, ReferenceSquiggle};
 use sf_sdtw::{
     calibrate_threshold, BatchClassifier, BatchConfig, FilterConfig, MultiStageConfig,
     MultiStageFilter, SdtwConfig, Stage, StreamClassification,
 };
+use sf_sim::flowcell::{FlowCellConfig, FlowCellSimulator, ReadUntilPolicy};
 use sf_sim::{Dataset, DatasetBuilder};
 use sf_squiggle::{NormalizerConfig, RawSquiggle};
+use sf_telemetry::{HistogramSnapshot, Snapshot};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -38,6 +41,10 @@ struct SweepPoint {
     reads_per_s: f64,
     speedup: f64,
     confusion: ConfusionMatrix,
+    /// DP cells evaluated during the timed pass (0 with telemetry disabled).
+    dp_cells: u64,
+    /// `dp_cells / seconds` (0 with telemetry disabled).
+    cells_per_s: f64,
 }
 
 /// Samples-to-decision summary for one verdict class.
@@ -211,9 +218,12 @@ fn main() {
         // measured first and would otherwise absorb cold-start costs, biasing
         // every later speedup_vs_1t upward.
         batch.classify_batch(&squiggles[..squiggles.len().min(8)]);
+        let tel_before = sf_telemetry::snapshot();
         let start = Instant::now();
         let report = batch.classify_labelled(&squiggles, &labels);
         let seconds = start.elapsed().as_secs_f64();
+        let dp_cells =
+            sf_telemetry::snapshot().counter_delta(&tel_before, sf_sdtw::telemetry::SDTW_DP_CELLS);
         let reads_per_s = squiggles.len() as f64 / seconds;
         let speedup = points
             .first()
@@ -232,6 +242,8 @@ fn main() {
             reads_per_s,
             speedup,
             confusion: report.confusion,
+            dp_cells,
+            cells_per_s: dp_cells as f64 / seconds,
         });
         // Decisions are identical across thread counts; record once.
         if stats.is_none() {
@@ -268,6 +280,40 @@ fn main() {
         );
     }
 
+    // A small oracle-policy flow-cell run so the `flowcell.*` counters in the
+    // telemetry section reflect a live simulation, closing the kernel-to-flow-
+    // cell loop this bench reports on.
+    let flowcell_config = FlowCellConfig {
+        channels: 16,
+        duration_s: 600.0,
+        target_fraction: 0.05,
+        ..Default::default()
+    };
+    let _ =
+        FlowCellSimulator::new(flowcell_config, 7).run(Some(&ReadUntilPolicy::oracle(2_000)), 60.0);
+
+    // Software vs modeled-ASIC throughput: the systolic array evaluates one
+    // full reference row (reference_samples cells) per cycle, so its cell
+    // rate is sample throughput × reference length at the paper's SARS-CoV-2
+    // design point.
+    let telemetry = sf_telemetry::snapshot();
+    let asic = AcceleratorModel::default().sars_cov_2_design_point();
+    let asic_cells_per_s = asic.total_throughput_samples_per_s * asic.reference_samples as f64;
+    let software_cells_per_s = points.iter().map(|p| p.cells_per_s).fold(0.0f64, f64::max);
+    if telemetry.enabled {
+        println!();
+        println!(
+            "hardware model: software {:.3e} cells/s vs ASIC {:.3e} cells/s \
+             ({} tiles) -> ratio {:.2e}",
+            software_cells_per_s,
+            asic_cells_per_s,
+            asic.tiles,
+            software_cells_per_s / asic_cells_per_s,
+        );
+        println!();
+        println!("{}", telemetry.to_table());
+    }
+
     let json = render_json(
         &dataset,
         &staged_config,
@@ -276,12 +322,14 @@ fn main() {
         &points,
         &stats,
         frozen_point.as_ref(),
+        &telemetry,
     );
     std::fs::write(&out_path, json).expect("write BENCH_batch.json");
     println!();
     println!("wrote {out_path}");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     dataset: &Dataset,
     config: &MultiStageConfig,
@@ -290,6 +338,7 @@ fn render_json(
     points: &[SweepPoint],
     stats: &DecisionStats,
     frozen_point: Option<&sf_sdtw::OperatingPoint>,
+    telemetry: &Snapshot,
 ) -> String {
     let last_stage = config.stages.last().expect("stages are non-empty");
     let mut json = String::new();
@@ -346,7 +395,8 @@ fn render_json(
         let _ = writeln!(
             json,
             "    {{ \"threads\": {}, \"seconds\": {:.6}, \"reads_per_s\": {:.3}, \
-             \"speedup_vs_1t\": {:.3}, \"accuracy\": {:.4}, \"tpr\": {:.4}, \"fpr\": {:.4} }}{comma}",
+             \"speedup_vs_1t\": {:.3}, \"accuracy\": {:.4}, \"tpr\": {:.4}, \"fpr\": {:.4}, \
+             \"dp_cells\": {}, \"cells_per_s\": {:.0} }}{comma}",
             p.threads,
             p.seconds,
             p.reads_per_s,
@@ -354,9 +404,12 @@ fn render_json(
             p.confusion.accuracy(),
             p.confusion.true_positive_rate(),
             p.confusion.false_positive_rate(),
+            p.dp_cells,
+            p.cells_per_s,
         );
     }
     let _ = writeln!(json, "  ],");
+    render_telemetry(&mut json, telemetry, points);
     let _ = writeln!(json, "  \"samples_to_decision\": {{");
     for (name, summary, comma) in [
         ("accept", &stats.accept, ","),
@@ -376,4 +429,93 @@ fn render_json(
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     json
+}
+
+/// Writes one `{ "count": .., "p50": .., "p95": .., "p99": .., "max": .. }`
+/// latency summary (zeros when the histogram is absent or empty).
+fn write_latency(json: &mut String, key: &str, hist: Option<&HistogramSnapshot>, comma: &str) {
+    let (count, p50, p95, p99, max) = match hist {
+        Some(h) if h.count > 0 => (
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.max,
+        ),
+        _ => (0, 0, 0, 0, 0),
+    };
+    let _ = writeln!(
+        json,
+        "    \"{key}\": {{ \"count\": {count}, \"p50\": {p50}, \"p95\": {p95}, \
+         \"p99\": {p99}, \"max\": {max} }}{comma}"
+    );
+}
+
+/// The BENCH telemetry section (`docs/benchmarks.md`): per-stage time split,
+/// chunk-latency quantiles, DP cell totals, event counters and the
+/// software-vs-modeled-ASIC throughput ratio. With telemetry compiled out the
+/// section collapses to `{ "enabled": false }` so schema checks can assert
+/// the build mode.
+fn render_telemetry(json: &mut String, snap: &Snapshot, points: &[SweepPoint]) {
+    let _ = writeln!(json, "  \"telemetry\": {{");
+    if !snap.enabled {
+        let _ = writeln!(json, "    \"enabled\": false");
+        let _ = writeln!(json, "  }},");
+        return;
+    }
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let _ = writeln!(json, "    \"enabled\": true,");
+    let _ = writeln!(
+        json,
+        "    \"stage_ns\": {{ \"normalize\": {}, \"dp\": {}, \"decision\": {} }},",
+        counter(sf_squiggle::telemetry::NORMALIZE_ESTIMATE_NS),
+        counter(sf_sdtw::telemetry::SDTW_STAGE_DP_NS),
+        counter(sf_sdtw::telemetry::SDTW_STAGE_DECISION_NS),
+    );
+    write_latency(
+        json,
+        "chunk_latency_ns",
+        snap.histogram(sf_sdtw::telemetry::SDTW_CHUNK_PUSH_NS),
+        ",",
+    );
+    write_latency(
+        json,
+        "queue_wait_ns",
+        snap.histogram(sf_sdtw::telemetry::BATCH_QUEUE_WAIT_NS),
+        ",",
+    );
+    // Peak sweep-point rate: the best sustained software throughput measured
+    // in this run (each point's dp_cells delta over its timed pass).
+    let software_cells_per_s = points.iter().map(|p| p.cells_per_s).fold(0.0f64, f64::max);
+    let _ = writeln!(
+        json,
+        "    \"dp\": {{ \"cells\": {}, \"rows\": {}, \"software_cells_per_s\": {:.0} }},",
+        counter(sf_sdtw::telemetry::SDTW_DP_CELLS),
+        counter(sf_sdtw::telemetry::SDTW_DP_ROWS),
+        software_cells_per_s,
+    );
+    let _ = writeln!(
+        json,
+        "    \"counts\": {{ \"early_rejects\": {}, \"stage_escalations\": {}, \
+         \"calibrations\": {}, \"recalibrations\": {}, \"batch_reads\": {}, \
+         \"flowcell_ejects\": {}, \"missed_eject_windows\": {} }},",
+        counter(sf_sdtw::telemetry::SDTW_EARLY_REJECTS),
+        counter(sf_sdtw::telemetry::SDTW_STAGE_ESCALATIONS),
+        counter(sf_squiggle::telemetry::NORMALIZE_CALIBRATIONS),
+        counter(sf_squiggle::telemetry::NORMALIZE_RECALIBRATIONS),
+        counter(sf_sdtw::telemetry::BATCH_READS),
+        counter(sf_sim::telemetry::FLOWCELL_EJECTS),
+        counter(sf_sim::telemetry::FLOWCELL_MISSED_EJECT_WINDOWS),
+    );
+    let asic = AcceleratorModel::default().sars_cov_2_design_point();
+    let asic_cells_per_s = asic.total_throughput_samples_per_s * asic.reference_samples as f64;
+    let _ = writeln!(
+        json,
+        "    \"hardware_model\": {{ \"tiles\": {}, \"asic_cells_per_s\": {:.0}, \
+         \"software_vs_asic_ratio\": {:.3e} }}",
+        asic.tiles,
+        asic_cells_per_s,
+        software_cells_per_s / asic_cells_per_s,
+    );
+    let _ = writeln!(json, "  }},");
 }

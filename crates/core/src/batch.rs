@@ -199,12 +199,16 @@ impl<C: ReadClassifier + Sync> BatchClassifier<C> {
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
+                    let m = crate::telemetry::metrics();
                     let mut local = ConfusionMatrix::new();
+                    let mut local_reads = 0u64;
                     loop {
                         // Pop in its own statement: a `while let` scrutinee
                         // would keep the MutexGuard alive through the loop
                         // body, serializing every worker on the queue lock.
+                        let sw = sf_telemetry::Stopwatch::start();
                         let next = queue.lock().expect("shard queue").pop_front();
+                        m.queue_wait_ns.record(sw.elapsed_ns());
                         let Some(shard) = next else { break };
                         for (i, read) in shard.reads.iter().enumerate() {
                             let classification = self.classifier.classify_stream(read);
@@ -212,8 +216,11 @@ impl<C: ReadClassifier + Sync> BatchClassifier<C> {
                                 local.record(labels[i], classification.verdict.is_accept());
                             }
                             shard.out[i] = Some(classification);
+                            local_reads += 1;
                         }
                     }
+                    m.worker_reads.record(local_reads);
+                    m.batch_reads.add(local_reads);
                     merged.lock().expect("confusion merge").merge(&local);
                 });
             }

@@ -18,10 +18,12 @@ use crate::config::SdtwConfig;
 use crate::kernel_float::{FloatSdtw, FloatSdtwStream};
 use crate::kernel_int::{IntSdtw, IntSdtwStream};
 use crate::result::SdtwResult;
+use crate::telemetry::{metrics, ChunkSpan, SessionStats};
 use sf_genome::Sequence;
 use sf_pore_model::{KmerModel, ReferenceSquiggle};
 use sf_squiggle::normalize::{quantize, Normalizer, NormalizerConfig};
 use sf_squiggle::RawSquiggle;
+use sf_telemetry::Stopwatch;
 
 /// Read Until decision for one read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -329,6 +331,7 @@ impl SquiggleFilter {
             result: None,
             decided_at: None,
             next_check: if interval == 0 { usize::MAX } else { interval },
+            stats: SessionStats::default(),
         }
     }
 }
@@ -408,6 +411,8 @@ pub struct SquiggleFilterSession<'a> {
     decided_at: Option<usize>,
     /// Next sample count at which the early-reject bound is evaluated.
     next_check: usize,
+    /// Telemetry accumulators, flushed once per chunk.
+    stats: SessionStats,
 }
 
 /// Per-sample DP advance and decision checks (the [`CalibratingFeed`] sink):
@@ -418,12 +423,15 @@ fn advance(
     decision: &mut Decision,
     result: &mut Option<SdtwResult>,
     next_check: &mut usize,
+    stats: &mut SessionStats,
     z: f32,
 ) -> bool {
     kernel.push(z);
     let n = kernel.samples();
     if n == config.prefix_samples {
+        let sw = Stopwatch::start();
         let best = kernel.best().expect("samples were pushed");
+        stats.decision_ns += sw.elapsed_ns();
         *decision = if best.cost <= config.threshold {
             Decision::Accept
         } else {
@@ -434,7 +442,9 @@ fn advance(
     }
     if n == *next_check {
         *next_check += config.early_exit_interval;
+        let sw = Stopwatch::start();
         let best = kernel.best().expect("samples were pushed");
+        stats.decision_ns += sw.elapsed_ns();
         let slack = config.sdtw.early_reject_slack(config.prefix_samples - n);
         // Sound bound: the row minimum cannot drop below this by the time
         // the full prefix has been consumed, so a reject here is exactly the
@@ -457,6 +467,9 @@ impl SquiggleFilterSession<'_> {
         self.decided_early = early_possible
             && self.decision == Decision::Reject
             && at < self.filter.config.prefix_samples;
+        if self.decided_early {
+            metrics().early_rejects.incr();
+        }
     }
 }
 
@@ -472,12 +485,20 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             decision,
             result,
             next_check,
+            stats,
             ..
         } = self;
         let config = filter.config;
+        let span = ChunkSpan::begin(kernel.samples(), feed.estimate_ns(), stats);
         feed.push(chunk, &mut |z| {
-            advance(&config, kernel, decision, result, next_check, z)
+            advance(&config, kernel, decision, result, next_check, stats, z)
         });
+        span.finish(
+            filter.reference_samples,
+            kernel.samples(),
+            feed.estimate_ns(),
+            stats,
+        );
         if self.decision.is_final() {
             self.record_decision_point(true);
         }
@@ -499,14 +520,23 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             // on what we have (which can itself reach a decision — but one
             // that saved nothing, the read is already over).
             let Self {
+                filter,
                 feed,
                 kernel,
                 decision,
                 result,
                 next_check,
+                stats,
                 ..
             } = self;
-            feed.flush(&mut |z| advance(&config, kernel, decision, result, next_check, z));
+            let span = ChunkSpan::begin(kernel.samples(), feed.estimate_ns(), stats);
+            feed.flush(&mut |z| advance(&config, kernel, decision, result, next_check, stats, z));
+            span.finish(
+                filter.reference_samples,
+                kernel.samples(),
+                feed.estimate_ns(),
+                stats,
+            );
             if self.decision.is_final() {
                 self.record_decision_point(false);
             }
@@ -514,6 +544,7 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
         if !self.decision.is_final() {
             // Decide on the partial prefix, exactly like the one-shot path
             // would on the same short prefix.
+            let sw = Stopwatch::start();
             match self.kernel.best() {
                 Some(best) => {
                     self.decision = if best.cost <= config.threshold {
@@ -535,6 +566,7 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
                     });
                 }
             }
+            metrics().decision_ns.add(sw.elapsed_ns());
             // Resolved at end-of-read: every received sample was needed.
             self.decided_at = Some(self.feed.received());
         }

@@ -109,6 +109,13 @@ impl FloatSdtwStream<'_> {
         for &q in samples {
             self.push(q);
         }
+        // One-shot callers reach the kernel through extend; streaming
+        // sessions push per sample and account rows themselves, so the two
+        // counting paths never overlap.
+        let m = crate::telemetry::metrics();
+        m.dp_rows.add(samples.len() as u64);
+        m.dp_cells
+            .add(samples.len() as u64 * self.engine.reference.len() as u64);
     }
 
     /// Pushes a single query sample, updating the DP row.

@@ -23,6 +23,9 @@
 //!   classification of whole read batches with merged confusion matrices,
 //!   generic over any [`ReadClassifier`].
 //! * [`threshold`] — threshold calibration from labelled costs.
+//! * [`telemetry`] — metric names for the runtime instrumentation of all of
+//!   the above (chunk latency, DP cells, per-phase timing; see
+//!   `docs/observability.md` in the repository root).
 //!
 //! # Example
 //!
@@ -59,6 +62,7 @@ pub mod kernel_float;
 pub mod kernel_int;
 pub mod multistage;
 pub mod result;
+pub mod telemetry;
 pub mod threshold;
 
 pub use batch::{BatchClassifier, BatchConfig, BatchReport};

@@ -16,9 +16,11 @@ use crate::config::SdtwConfig;
 use crate::filter::FilterVerdict;
 use crate::kernel_int::{IntSdtw, IntSdtwStream};
 use crate::result::SdtwResult;
+use crate::telemetry::{metrics, ChunkSpan, SessionStats};
 use sf_pore_model::ReferenceSquiggle;
 use sf_squiggle::normalize::{Normalizer, NormalizerConfig};
 use sf_squiggle::RawSquiggle;
+use sf_telemetry::Stopwatch;
 
 /// One filtering stage: examine `prefix_samples` of the read and reject it if
 /// the alignment cost exceeds `threshold`.
@@ -214,6 +216,7 @@ impl MultiStageFilter {
             decided_early: false,
             result: None,
             decided_at: None,
+            stats: SessionStats::default(),
         }
     }
 }
@@ -263,6 +266,8 @@ pub struct MultiStageSession<'a> {
     /// stage's boundary, but never before the calibration window filled and
     /// never more samples than the read delivered.
     decided_at: Option<usize>,
+    /// Telemetry accumulators, flushed once per chunk.
+    stats: SessionStats,
 }
 
 /// Per-sample DP advance and stage-boundary checks (the [`CalibratingFeed`]
@@ -274,6 +279,7 @@ fn advance(
     stage: &mut usize,
     decision: &mut Decision,
     result: &mut Option<SdtwResult>,
+    stats: &mut SessionStats,
     z: f32,
 ) -> bool {
     // The shared per-sample formula (then `quantize`) keeps streaming
@@ -281,7 +287,9 @@ fn advance(
     stream.push(sf_squiggle::normalize::quantize(z));
     let n = stream.samples_processed();
     if n == stages[*stage].prefix_samples {
+        let sw = Stopwatch::start();
         let best = stream.best().expect("samples were pushed");
+        stats.decision_ns += sw.elapsed_ns();
         if best.cost > stages[*stage].threshold {
             *decision = Decision::Reject;
             *result = Some(best);
@@ -293,6 +301,7 @@ fn advance(
             return true;
         }
         *stage += 1;
+        metrics().stage_escalations.incr();
     }
     false
 }
@@ -311,6 +320,9 @@ impl MultiStageSession<'_> {
         self.decided_early = early_possible
             && self.decision == Decision::Reject
             && at < self.filter.max_decision_samples();
+        if self.decided_early {
+            metrics().early_rejects.incr();
+        }
     }
 }
 
@@ -326,12 +338,20 @@ impl ClassifierSession for MultiStageSession<'_> {
             stage,
             decision,
             result,
+            stats,
             ..
         } = self;
         let stages = &filter.config.stages;
+        let span = ChunkSpan::begin(stream.samples_processed(), feed.estimate_ns(), stats);
         feed.push(chunk, &mut |z| {
-            advance(stages, stream, stage, decision, result, z)
+            advance(stages, stream, stage, decision, result, stats, z)
         });
+        span.finish(
+            filter.reference_samples,
+            stream.samples_processed(),
+            feed.estimate_ns(),
+            stats,
+        );
         if self.decision.is_final() {
             self.record_decision_point(true);
         }
@@ -358,10 +378,18 @@ impl ClassifierSession for MultiStageSession<'_> {
                 stage,
                 decision,
                 result,
+                stats,
                 ..
             } = self;
             let stages = &filter.config.stages;
-            feed.flush(&mut |z| advance(stages, stream, stage, decision, result, z));
+            let span = ChunkSpan::begin(stream.samples_processed(), feed.estimate_ns(), stats);
+            feed.flush(&mut |z| advance(stages, stream, stage, decision, result, stats, z));
+            span.finish(
+                filter.reference_samples,
+                stream.samples_processed(),
+                feed.estimate_ns(),
+                stats,
+            );
             if self.decision.is_final() {
                 self.record_decision_point(false);
             }
@@ -369,6 +397,7 @@ impl ClassifierSession for MultiStageSession<'_> {
         if !self.decision.is_final() {
             // The read ended mid-stage: evaluate the pending stage on the
             // samples we have, exactly like `classify` does for short reads.
+            let sw = Stopwatch::start();
             match self.stream.best() {
                 Some(best) => {
                     // A read that ended *exactly* at the previous stage's
@@ -401,6 +430,7 @@ impl ClassifierSession for MultiStageSession<'_> {
                     });
                 }
             }
+            metrics().decision_ns.add(sw.elapsed_ns());
             // Resolved at end-of-read: every received sample was needed.
             self.decided_at = Some(self.feed.received());
         }

@@ -1,0 +1,134 @@
+//! Metric names (and private handles) for the classifier pipeline.
+//!
+//! Naming follows `docs/observability.md`: `sdtw.*` covers the DP kernels
+//! and streaming sessions, `batch.*` the worker pool. The per-sample DP
+//! loops are never instrumented directly — sessions accumulate plain
+//! integers (the crate-private `SessionStats`) and flush them to the global
+//! registry once per chunk via a `ChunkSpan`, so the hot path stays free of clock
+//! reads and the flush itself is a handful of relaxed atomic adds.
+
+use sf_telemetry::{register_counter, register_histogram, Counter, Histogram, Stopwatch};
+use std::sync::OnceLock;
+
+/// Histogram: wall-clock nanoseconds per [`ClassifierSession::push_chunk`]
+/// call (including normalization and decision checks).
+///
+/// [`ClassifierSession::push_chunk`]: crate::ClassifierSession::push_chunk
+pub const SDTW_CHUNK_PUSH_NS: &str = "sdtw.chunk_push_ns";
+/// Counter: DP cells evaluated (rows × reference samples), all kernels.
+pub const SDTW_DP_CELLS: &str = "sdtw.dp_cells";
+/// Counter: DP rows processed (one row per query sample).
+pub const SDTW_DP_ROWS: &str = "sdtw.dp_rows";
+/// Counter: nanoseconds of session chunk time attributed to the DP phase
+/// (chunk wall-clock minus normalize-estimation and decision-scan time).
+pub const SDTW_STAGE_DP_NS: &str = "sdtw.stage.dp_ns";
+/// Counter: nanoseconds spent scanning DP rows for decisions (early-reject
+/// checks, stage boundaries, final decisions).
+pub const SDTW_STAGE_DECISION_NS: &str = "sdtw.stage.decision_ns";
+/// Counter: streaming decisions that fired before the sample budget (the
+/// paper's early ejects — sequencing time handed back to the pore).
+pub const SDTW_EARLY_REJECTS: &str = "sdtw.early_rejects";
+/// Counter: multi-stage sessions escalating to the next stage.
+pub const SDTW_STAGE_ESCALATIONS: &str = "sdtw.stage_escalations";
+/// Counter: reads classified by [`BatchClassifier`] workers.
+///
+/// [`BatchClassifier`]: crate::BatchClassifier
+pub const BATCH_READS: &str = "batch.reads";
+/// Histogram: nanoseconds a worker waited to claim the next shard
+/// (lock acquisition + queue pop; one sample per claim attempt).
+pub const BATCH_QUEUE_WAIT_NS: &str = "batch.queue_wait_ns";
+/// Histogram: reads classified per worker per batch (the load-balance
+/// distribution of the self-scheduling pool).
+pub const BATCH_WORKER_READS: &str = "batch.worker_reads";
+
+pub(crate) struct Metrics {
+    pub chunk_push_ns: &'static Histogram,
+    pub dp_cells: &'static Counter,
+    pub dp_rows: &'static Counter,
+    pub dp_ns: &'static Counter,
+    pub decision_ns: &'static Counter,
+    pub early_rejects: &'static Counter,
+    pub stage_escalations: &'static Counter,
+    pub batch_reads: &'static Counter,
+    pub queue_wait_ns: &'static Histogram,
+    pub worker_reads: &'static Histogram,
+}
+
+/// The crate's registered metric handles (registered once, then lock-free).
+pub(crate) fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        chunk_push_ns: register_histogram(SDTW_CHUNK_PUSH_NS),
+        dp_cells: register_counter(SDTW_DP_CELLS),
+        dp_rows: register_counter(SDTW_DP_ROWS),
+        dp_ns: register_counter(SDTW_STAGE_DP_NS),
+        decision_ns: register_counter(SDTW_STAGE_DECISION_NS),
+        early_rejects: register_counter(SDTW_EARLY_REJECTS),
+        stage_escalations: register_counter(SDTW_STAGE_ESCALATIONS),
+        batch_reads: register_counter(BATCH_READS),
+        queue_wait_ns: register_histogram(BATCH_QUEUE_WAIT_NS),
+        worker_reads: register_histogram(BATCH_WORKER_READS),
+    })
+}
+
+/// Per-session plain-integer accumulators. Sessions thread this through
+/// their per-sample sink instead of touching global metrics: the sink adds
+/// to ordinary `u64`s and [`record_chunk`] flushes the deltas once per
+/// chunk. With telemetry disabled every stopwatch reads 0 and every add is
+/// dead, so the whole structure folds away.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SessionStats {
+    /// Nanoseconds spent in decision row scans (`kernel.best()`).
+    pub decision_ns: u64,
+}
+
+/// A chunk-granularity measurement span: captures the session's counters on
+/// entry to `push_chunk` (or a finalize flush) and flushes the deltas to
+/// the global metrics when the span ends.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkSpan {
+    sw: Stopwatch,
+    rows_before: usize,
+    estimate_ns_before: u64,
+    decision_ns_before: u64,
+}
+
+impl ChunkSpan {
+    /// Opens a span. `rows` is the kernel's processed-sample count,
+    /// `estimate_ns` the feed's cumulative estimation time, and `stats`
+    /// the session's accumulators — all *before* the chunk runs.
+    pub fn begin(rows: usize, estimate_ns: u64, stats: &SessionStats) -> Self {
+        ChunkSpan {
+            sw: Stopwatch::start(),
+            rows_before: rows,
+            estimate_ns_before: estimate_ns,
+            decision_ns_before: stats.decision_ns,
+        }
+    }
+
+    /// Closes the span: records chunk latency and flushes DP-row/cell and
+    /// phase-time deltas. `reference_samples` converts rows to cells. The
+    /// DP share is what remains of the chunk's wall-clock after the
+    /// normalize-estimation and decision-scan deltas are subtracted (the
+    /// per-sample normalize transform is a few ops against an O(reference)
+    /// DP row, so lumping it with DP skews nothing measurable).
+    pub fn finish(
+        self,
+        reference_samples: usize,
+        rows: usize,
+        estimate_ns: u64,
+        stats: &SessionStats,
+    ) {
+        let elapsed = self.sw.elapsed_ns();
+        let m = metrics();
+        m.chunk_push_ns.record(elapsed);
+        let row_delta = (rows - self.rows_before) as u64;
+        m.dp_rows.add(row_delta);
+        m.dp_cells.add(row_delta * reference_samples as u64);
+        let estimate_delta = estimate_ns - self.estimate_ns_before;
+        let decision_delta = stats.decision_ns - self.decision_ns_before;
+        m.decision_ns.add(decision_delta);
+        m.dp_ns
+            .add(elapsed.saturating_sub(estimate_delta + decision_delta));
+    }
+}

@@ -355,6 +355,11 @@ impl FlowCellSimulator {
                                 + p.decision_latency_s;
                             let duration = decision_time.min(full_duration);
                             ejected_reads += 1;
+                            let m = crate::telemetry::metrics();
+                            m.ejects.incr();
+                            if decision_time >= full_duration {
+                                m.missed_eject_windows.incr();
+                            }
                             // A read shorter than the decision prefix only
                             // delivers its own samples (mirrors the honest
                             // `samples_consumed` of the Classifier branch).
@@ -376,6 +381,11 @@ impl FlowCellSimulator {
                                 + p.decision_latency_s;
                             let duration = decision_time.min(full_duration);
                             ejected_reads += 1;
+                            let m = crate::telemetry::metrics();
+                            m.ejects.incr();
+                            if decision_time >= full_duration {
+                                m.missed_eject_windows.incr();
+                            }
                             eject_decision_samples += outcome.samples_consumed as u64;
                             (duration, duration * cfg.bases_per_second)
                         }
@@ -446,6 +456,15 @@ impl FlowCellSimulator {
                 sequenced_bases: cum_bases,
                 target_bases: cum_target,
             });
+        }
+
+        // End-of-run channel health, exposed as gauges (latest run wins).
+        let m = crate::telemetry::metrics();
+        m.active_channels.set(final_active as u64);
+        let slots = (samples * cfg.channels) as u64;
+        let active_total: u64 = active_at.iter().map(|&a| a as u64).sum();
+        if let Some(permille) = (active_total * 1000).checked_div(slots) {
+            m.occupancy_permille.set(permille);
         }
 
         FlowCellRun {

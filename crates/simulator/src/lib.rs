@@ -12,7 +12,9 @@
 //!   the paper's lambda/SARS-CoV-2/human read sets),
 //! * [`flowcell`] — a per-channel flow-cell simulation with Read Until
 //!   ejection, pore blocking and nuclease washes (Figure 20),
-//! * [`rand_util`] — the small set of distributions the simulators need.
+//! * [`rand_util`] — the small set of distributions the simulators need,
+//! * [`telemetry`] — metric names for the flow-cell run counters (ejects,
+//!   missed eject windows, channel occupancy).
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ pub mod flowcell;
 pub mod rand_util;
 pub mod read;
 pub mod squiggle_sim;
+pub mod telemetry;
 
 pub use dataset::{Dataset, DatasetBuilder, LabelledSquiggle};
 pub use flowcell::{

@@ -1,0 +1,41 @@
+//! Metric names (and private handles) for the flow-cell simulation.
+//!
+//! Naming follows `docs/observability.md`: everything here is `flowcell.*`.
+//! The simulator is not a hot path in the classifier sense, but its counters
+//! close the loop from kernel to flow cell: how many ejects the Read Until
+//! policy fired, how many of those landed *after* the read had already
+//! finished (a missed eject window — the decision saved nothing), and how
+//! occupied the channels were over the run.
+
+use sf_telemetry::{register_counter, register_gauge, Counter, Gauge};
+use std::sync::OnceLock;
+
+/// Counter: reads ejected by a Read Until policy (both policy kinds).
+pub const FLOWCELL_EJECTS: &str = "flowcell.ejects";
+/// Counter: eject decisions that arrived at or after the read's natural end —
+/// the pore had already finished the molecule, so the eject saved no
+/// sequencing time.
+pub const FLOWCELL_MISSED_EJECT_WINDOWS: &str = "flowcell.missed_eject_windows";
+/// Gauge: channels still active at the end of the most recent run.
+pub const FLOWCELL_ACTIVE_CHANNELS: &str = "flowcell.active_channels";
+/// Gauge: mean channel occupancy of the most recent run, in permille
+/// (1000 = every channel active at every timeline sample).
+pub const FLOWCELL_OCCUPANCY_PERMILLE: &str = "flowcell.occupancy_permille";
+
+pub(crate) struct Metrics {
+    pub ejects: &'static Counter,
+    pub missed_eject_windows: &'static Counter,
+    pub active_channels: &'static Gauge,
+    pub occupancy_permille: &'static Gauge,
+}
+
+/// The crate's registered metric handles (registered once, then lock-free).
+pub(crate) fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        ejects: register_counter(FLOWCELL_EJECTS),
+        missed_eject_windows: register_counter(FLOWCELL_MISSED_EJECT_WINDOWS),
+        active_channels: register_gauge(FLOWCELL_ACTIVE_CHANNELS),
+        occupancy_permille: register_gauge(FLOWCELL_OCCUPANCY_PERMILLE),
+    })
+}

@@ -26,6 +26,7 @@
 pub mod events;
 pub mod normalize;
 pub mod signal;
+pub mod telemetry;
 
 pub use events::{Event, EventDetector, EventDetectorConfig};
 pub use normalize::{

@@ -21,6 +21,8 @@
 //! `docs/streaming.md` in the repository root).
 
 use crate::signal::stats;
+use crate::telemetry::metrics;
+use sf_telemetry::Stopwatch;
 use std::collections::VecDeque;
 
 /// The fixed-point range used by the 8-bit quantizer: normalized values are
@@ -327,6 +329,9 @@ pub struct CalibratingFeed<T = u16> {
     recalibration_reachable: bool,
     /// Number of mid-stream re-estimations performed so far.
     recalibrations: usize,
+    /// Nanoseconds this feed has spent estimating parameters (telemetry;
+    /// always `0` when the `telemetry` feature is off).
+    estimate_ns: u64,
 }
 
 impl<T: Into<f64> + Copy> CalibratingFeed<T> {
@@ -351,6 +356,7 @@ impl<T: Into<f64> + Copy> CalibratingFeed<T> {
             budget,
             recalibration_reachable,
             recalibrations: 0,
+            estimate_ns: 0,
         }
     }
 
@@ -369,6 +375,14 @@ impl<T: Into<f64> + Copy> CalibratingFeed<T> {
     /// initial calibration).
     pub fn recalibrations(&self) -> usize {
         self.recalibrations
+    }
+
+    /// Nanoseconds this feed has spent estimating normalization parameters
+    /// so far. Streaming sessions read this before and after a chunk to
+    /// attribute the chunk's wall-clock to the normalize phase; it is `0`
+    /// when telemetry is disabled.
+    pub fn estimate_ns(&self) -> u64 {
+        self.estimate_ns
     }
 
     /// Raw-sample count at which information produced at feed position `n`
@@ -406,7 +420,13 @@ impl<T: Into<f64> + Copy> CalibratingFeed<T> {
     /// Initial calibration: estimate over the buffered window, then drain
     /// the buffer through the per-sample feed.
     fn calibrate(&mut self, sink: &mut dyn FnMut(f32) -> bool) {
+        let sw = Stopwatch::start();
         self.params = Some(Normalizer::new(self.config).estimate(&self.pending));
+        let ns = sw.elapsed_ns();
+        self.estimate_ns += ns;
+        let m = metrics();
+        m.calibrations.incr();
+        m.estimate_ns.add(ns);
         if self.recalibration_reachable {
             self.next_recalibration = self.calibration_point + self.config.recalibration_interval;
         }
@@ -417,8 +437,14 @@ impl<T: Into<f64> + Copy> CalibratingFeed<T> {
     /// Re-estimates the parameters over the trailing window (in stream
     /// order) and schedules the next re-estimation.
     fn recalibrate(&mut self) {
+        let sw = Stopwatch::start();
         let window = self.history.make_contiguous();
         self.params = Some(Normalizer::new(self.config).estimate(window));
+        let ns = sw.elapsed_ns();
+        self.estimate_ns += ns;
+        let m = metrics();
+        m.recalibrations.incr();
+        m.estimate_ns.add(ns);
         self.recalibrations += 1;
         self.next_recalibration += self.config.recalibration_interval;
     }

@@ -1,0 +1,36 @@
+//! Metric names (and private handles) for this crate's instrumentation.
+//!
+//! The normalizer records calibration events and the time spent estimating
+//! normalization parameters; streaming sessions in `sf-sdtw` subtract that
+//! time from their chunk spans to attribute wall-clock to the normalize
+//! phase. See `docs/observability.md` for the registry model and naming
+//! rules. All recording happens at *event* granularity (one calibration,
+//! one re-estimation) — never per sample.
+
+use sf_telemetry::{register_counter, Counter};
+use std::sync::OnceLock;
+
+/// Counter: initial parameter estimations (one per feed whose calibration
+/// window filled or was flushed).
+pub const NORMALIZE_CALIBRATIONS: &str = "normalize.calibrations";
+/// Counter: mid-stream rolling re-estimations across all feeds.
+pub const NORMALIZE_RECALIBRATIONS: &str = "normalize.recalibrations";
+/// Counter: nanoseconds spent estimating normalization parameters
+/// (calibrations and re-estimations together).
+pub const NORMALIZE_ESTIMATE_NS: &str = "normalize.estimate_ns";
+
+pub(crate) struct Metrics {
+    pub calibrations: &'static Counter,
+    pub recalibrations: &'static Counter,
+    pub estimate_ns: &'static Counter,
+}
+
+/// The crate's registered metric handles (registered once, then lock-free).
+pub(crate) fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        calibrations: register_counter(NORMALIZE_CALIBRATIONS),
+        recalibrations: register_counter(NORMALIZE_RECALIBRATIONS),
+        estimate_ns: register_counter(NORMALIZE_ESTIMATE_NS),
+    })
+}

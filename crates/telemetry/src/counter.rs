@@ -1,0 +1,126 @@
+//! Monotonic counters and last-value gauges.
+//!
+//! Both types are single `u64` cells updated with `Ordering::Relaxed`
+//! operations only: no read-modify-write fences, no locks, no allocation.
+//! Relaxed ordering is sufficient because telemetry values are never used
+//! for synchronization — a snapshot observes each cell atomically but makes
+//! no cross-metric consistency promise (see [`crate::registry`]).
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// With the `enabled` feature this is a relaxed [`AtomicU64`]; without it,
+/// a zero-sized no-op whose methods compile away.
+#[derive(Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` to the counter (relaxed; hot-path safe).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count (relaxed load; `0` when telemetry is disabled).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+/// A last-value gauge (e.g. "channels currently active").
+///
+/// Unlike [`Counter`] the stored value is overwritten, not accumulated.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the gauge (relaxed store).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// The last stored value (`0` when telemetry is disabled).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        #[cfg(feature = "enabled")]
+        assert_eq!(c.get(), 42);
+        #[cfg(not(feature = "enabled"))]
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        #[cfg(feature = "enabled")]
+        assert_eq!(g.get(), 3);
+        #[cfg(not(feature = "enabled"))]
+        assert_eq!(g.get(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Snapshot exporters: machine-readable JSON and a human-readable table.
+//!
+//! The JSON form is hand-written (the environment is offline; no serde) and
+//! stable enough to be consumed by `scripts/check-bench-schema.sh` and the
+//! `telemetry` section of `BENCH_batch.json`.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricValue, Snapshot};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a JSON object:
+    /// `{"enabled": bool, "metrics": {"name": {"type": ..., ...}, ...}}`.
+    ///
+    /// Counters and gauges carry a single `value`; histograms carry
+    /// `count`, `mean`, `p50`, `p95`, `p99` and `max`. Metrics appear in
+    /// name order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"enabled\": {}, \"metrics\": {{", self.enabled);
+        for (i, entry) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": ", json_escape(&entry.name));
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {v}}}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\": \"histogram\", \"count\": {}, \"mean\": {:.1}, \
+                         \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.max
+                    );
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot as an aligned text table, one metric per row.
+    ///
+    /// Counters and gauges fill the `count/value` column; histograms also
+    /// fill the quantile columns. An empty or disabled snapshot renders a
+    /// single explanatory line.
+    pub fn to_table(&self) -> String {
+        if !self.enabled {
+            return "telemetry disabled (built without the `telemetry` feature)".to_string();
+        }
+        if self.metrics.is_empty() {
+            return "telemetry enabled, no metrics registered".to_string();
+        }
+        let name_width = self
+            .metrics
+            .iter()
+            .map(|e| e.name.len())
+            .max()
+            .unwrap_or(6)
+            .max("metric".len());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:<9}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+            "metric", "type", "count/value", "mean", "p50", "p95", "p99", "max"
+        );
+        for entry in &self.metrics {
+            match &entry.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<name_width$}  {:<9}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+                        entry.name, "counter", v, "-", "-", "-", "-", "-"
+                    );
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<name_width$}  {:<9}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}",
+                        entry.name, "gauge", v, "-", "-", "-", "-", "-"
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<name_width$}  {:<9}  {:>12}  {:>12.1}  {:>12}  {:>12}  {:>12}  {:>12}",
+                        entry.name,
+                        "histogram",
+                        h.count,
+                        h.mean(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.max
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::SnapshotEntry;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            enabled: true,
+            metrics: vec![
+                SnapshotEntry {
+                    name: "a.count".to_string(),
+                    value: MetricValue::Counter(7),
+                },
+                SnapshotEntry {
+                    name: "b.gauge".to_string(),
+                    value: MetricValue::Gauge(3),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let json = sample_snapshot().to_json();
+        assert!(json.starts_with("{\"enabled\": true"));
+        assert!(json.contains("\"a.count\": {\"type\": \"counter\", \"value\": 7}"));
+        assert!(json.contains("\"b.gauge\": {\"type\": \"gauge\", \"value\": 3}"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let table = sample_snapshot().to_table();
+        assert!(table.contains("a.count"));
+        assert!(table.contains("b.gauge"));
+        assert!(table.lines().count() >= 3);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

@@ -1,0 +1,252 @@
+//! Log-linear histograms with bounded relative error.
+//!
+//! The bucket layout is the HdrHistogram idea in its smallest useful form:
+//! values below [`LINEAR_LIMIT`] get one bucket each (exact), and every
+//! power-of-two octave above that is split into [`SUB_BUCKETS`] equal
+//! sub-buckets. A bucket therefore spans at most `value / 32` — any
+//! quantile read back from the histogram is within **3.125%** relative
+//! error ([`MAX_RELATIVE_ERROR`]) of the true sample, while the whole
+//! `u64` range fits in [`BUCKETS`] (1920) cells.
+//!
+//! Recording is one relaxed `fetch_add` per value plus bookkeeping on the
+//! count/sum/max cells — no locks, no allocation, hot-path safe.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this are recorded exactly, one bucket per value.
+pub const LINEAR_LIMIT: u64 = 32;
+/// Sub-buckets per octave above the linear range (`2^SUB_BITS`).
+pub const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5;
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize - 1) * SUB_BUCKETS;
+/// Worst-case relative error of any reported quantile: one bucket width,
+/// `1 / SUB_BUCKETS` of the value.
+pub const MAX_RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// Bucket index for a recorded value.
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))] // only `record` calls it
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_LIMIT {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS since v >= 32
+        let octave = (msb - SUB_BITS) as usize;
+        let offset = ((v >> (msb - SUB_BITS)) - LINEAR_LIMIT) as usize;
+        SUB_BUCKETS + octave * SUB_BUCKETS + offset
+    }
+}
+
+/// Lower bound of a bucket's value range.
+fn bucket_lower(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let rel = index - SUB_BUCKETS;
+        let octave = (rel / SUB_BUCKETS) as u32;
+        let offset = (rel % SUB_BUCKETS) as u64;
+        (LINEAR_LIMIT + offset) << octave
+    }
+}
+
+/// Width of a bucket's value range (1 in the linear region).
+fn bucket_width(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        1
+    } else {
+        1u64 << ((index - SUB_BUCKETS) / SUB_BUCKETS)
+    }
+}
+
+/// The value reported for samples landing in a bucket (its midpoint, which
+/// halves the worst-case error of reporting an edge).
+fn bucket_value(index: usize) -> u64 {
+    bucket_lower(index) + bucket_width(index) / 2
+}
+
+/// A concurrent log-linear histogram of `u64` samples (typically
+/// nanoseconds).
+///
+/// With the `enabled` feature each bucket is a relaxed [`AtomicU64`];
+/// without it the type is zero-sized and [`Histogram::record`] is a no-op.
+#[derive(Debug)]
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    buckets: Vec<AtomicU64>,
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+    #[cfg(feature = "enabled")]
+    sum: AtomicU64,
+    #[cfg(feature = "enabled")]
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram (allocates its bucket array once; nothing
+    /// allocates after construction).
+    pub fn new() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            #[cfg(feature = "enabled")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            sum: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The zero-sized disabled-mode construction (`const`, so it can back a
+    /// `static` no-op handle in the registry).
+    #[cfg(not(feature = "enabled"))]
+    pub(crate) const fn new_noop() -> Self {
+        Self {}
+    }
+
+    /// Records one sample (relaxed atomics only; hot-path safe).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(value, Ordering::Relaxed);
+            self.max.fetch_max(value, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = value;
+    }
+
+    /// Copies the current state into an immutable [`HistogramSnapshot`].
+    ///
+    /// Concurrent recorders may land between bucket reads; the snapshot is
+    /// internally consistent to within those in-flight samples.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        #[cfg(feature = "enabled")]
+        {
+            HistogramSnapshot {
+                count: self.count.load(Ordering::Relaxed),
+                sum: self.sum.load(Ordering::Relaxed),
+                max: self.max.load(Ordering::Relaxed),
+                buckets: self
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            HistogramSnapshot::empty()
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`], the form quantiles are read from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wraps on overflow past `u64::MAX`).
+    pub sum: u64,
+    /// Largest recorded value (exact, not bucketed).
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no samples (what a disabled histogram reports).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, within
+    /// [`MAX_RELATIVE_ERROR`] of the true sample. Returns 0 for an empty
+    /// histogram; `q <= 0` reports the smallest recorded bucket and
+    /// `q >= 1` the largest.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_value(i);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..LINEAR_LIMIT {
+            let i = bucket_index(v);
+            assert_eq!(bucket_lower(i), v);
+            assert_eq!(bucket_width(i), 1);
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // Every value maps into a bucket whose [lower, lower + width) range
+        // contains it, and the bucket width never exceeds value / 32.
+        for shift in 0..63u32 {
+            for v in [1u64 << shift, (1u64 << shift) + 1, (1u64 << shift) * 3 / 2] {
+                let i = bucket_index(v);
+                assert!(i < BUCKETS, "index {i} out of range for {v}");
+                let lo = bucket_lower(i);
+                let w = bucket_width(i);
+                assert!(lo <= v && v - lo < w, "value {v} outside bucket {i}");
+                if v >= LINEAR_LIMIT {
+                    assert!(w <= v / 32 + 1, "bucket too wide for {v}");
+                }
+            }
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn quantiles_of_a_known_set() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        let p50 = s.quantile(0.5) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= MAX_RELATIVE_ERROR);
+        let p99 = s.quantile(0.99) as f64;
+        assert!((p99 - 990.0).abs() / 990.0 <= MAX_RELATIVE_ERROR);
+    }
+}

@@ -1,0 +1,60 @@
+//! Lock-free runtime telemetry for the SquiggleFilter workspace.
+//!
+//! The paper's headline constraint is *keeping up*: the filter must decide
+//! faster than the sequencer produces signal (~455 samples/s/channel ×
+//! 512 channels) or the eject window is missed. This crate is how the
+//! software path measures that — counters for work done (DP cells, rows,
+//! early rejects), log-linear histograms for latency distributions
+//! (per-chunk push latency with bounded-error p50/p95/p99), and span
+//! timers that attribute wall-clock to pipeline phases (normalize vs DP
+//! vs decision).
+//!
+//! # Design rules
+//!
+//! * **Hot paths touch relaxed atomics only** — no locks, no allocation
+//!   per sample. Registration (the only locking operation) happens once
+//!   per metric and hands back a `&'static` handle.
+//! * **Per-sample loops are never instrumented directly.** Sessions
+//!   accumulate plain-integer locals and flush them to the global metrics
+//!   once per chunk; timers wrap chunk- or event-granularity spans only.
+//! * **Everything compiles away when disabled.** Without the `enabled`
+//!   cargo feature every type here is zero-sized and every method a no-op,
+//!   so instrumented call sites cost (near) nothing — consumers keep a
+//!   single code path and gate the feature, not the code.
+//!
+//! # Example
+//!
+//! ```
+//! use sf_telemetry::{register_counter, register_histogram, snapshot, Stopwatch};
+//!
+//! let chunks = register_counter("demo.chunks");
+//! let latency = register_histogram("demo.chunk_ns");
+//!
+//! let sw = Stopwatch::start();
+//! // ... process one chunk ...
+//! chunks.incr();
+//! latency.record(sw.elapsed_ns());
+//!
+//! let snap = snapshot();
+//! if snap.enabled {
+//!     assert_eq!(snap.counter("demo.chunks"), Some(1));
+//!     println!("{}", snap.to_table());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod counter;
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod timer;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot, MAX_RELATIVE_ERROR};
+pub use registry::{
+    register_counter, register_gauge, register_histogram, snapshot, MetricValue, Snapshot,
+    SnapshotEntry,
+};
+pub use timer::Stopwatch;

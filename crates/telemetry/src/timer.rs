@@ -1,0 +1,59 @@
+//! Span timing for phase attribution.
+//!
+//! [`Stopwatch`] is the only telemetry type that touches the clock. With
+//! the `enabled` feature it wraps [`std::time::Instant`]; without it the
+//! type is zero-sized and [`Stopwatch::elapsed_ns`] is the constant `0`,
+//! so `accumulator += sw.elapsed_ns()` folds away entirely.
+//!
+//! Timers belong at *chunk* or *event* granularity (one chunk of ~400
+//! samples, one normalizer re-estimation) — never inside the per-sample DP
+//! loop, where even a cheap clock read would dominate the work.
+
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// A started span timer. Read it with [`Stopwatch::elapsed_ns`]; dropping
+/// it records nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    #[cfg(feature = "enabled")]
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Self {
+            #[cfg(feature = "enabled")]
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since [`Stopwatch::start`], saturating at `u64::MAX`
+    /// (`0` when telemetry is disabled).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+    }
+}

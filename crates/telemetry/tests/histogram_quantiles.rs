@@ -1,0 +1,107 @@
+//! Property-style check of the documented histogram error bound: for seeded
+//! random sample sets spanning the linear region through many octaves, every
+//! reported quantile is within `MAX_RELATIVE_ERROR` of the exact
+//! order-statistic computed by sorting.
+
+#![cfg(feature = "enabled")]
+
+use sf_telemetry::{Histogram, MAX_RELATIVE_ERROR};
+
+/// Deterministic 64-bit LCG (Knuth's MMIX constants) — the vendored `rand`
+/// is deliberately not a dependency of this crate.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// Exact quantile matching `HistogramSnapshot::quantile`'s rank rule:
+/// the smallest value with at least `ceil(q * n)` samples at or below it.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn check_distribution(name: &str, samples: Vec<u64>) {
+    let h = Histogram::new();
+    for &v in &samples {
+        h.record(v);
+    }
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    let snap = h.snapshot();
+    assert_eq!(snap.count, sorted.len() as u64, "{name}: count");
+    assert_eq!(snap.max, *sorted.last().unwrap(), "{name}: max is exact");
+    for &q in &[0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0] {
+        let exact = exact_quantile(&sorted, q);
+        let approx = snap.quantile(q);
+        if exact < 32 {
+            assert_eq!(approx, exact, "{name}: q={q} exact in linear region");
+        } else {
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= MAX_RELATIVE_ERROR,
+                "{name}: q={q} exact={exact} approx={approx} err={err:.4} > {MAX_RELATIVE_ERROR}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_within_documented_error_across_seeds() {
+    for seed in 1..=8u64 {
+        let mut rng = Lcg(seed);
+        // Uniform over a wide range: exercises many octaves at once.
+        let wide: Vec<u64> = (0..5_000).map(|_| rng.next() % 10_000_000).collect();
+        check_distribution("wide-uniform", wide);
+
+        // Skewed latency-like distribution: mostly small with a heavy tail,
+        // the shape chunk-push latencies actually have.
+        let skewed: Vec<u64> = (0..5_000)
+            .map(|_| {
+                let base = 200 + rng.next() % 800;
+                if rng.next() % 100 == 0 {
+                    base * 1_000 // rare slow outliers
+                } else {
+                    base
+                }
+            })
+            .collect();
+        check_distribution("skewed-tail", skewed);
+
+        // Entirely inside the linear region: every quantile exact.
+        let small: Vec<u64> = (0..2_000).map(|_| rng.next() % 32).collect();
+        check_distribution("linear-region", small);
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    use std::sync::Arc;
+
+    let h = Arc::new(Histogram::new());
+    let threads = 4;
+    let per_thread = 50_000u64;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut rng = Lcg(t as u64 + 1);
+                for _ in 0..per_thread {
+                    h.record(rng.next() % 1_000_000);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, threads as u64 * per_thread);
+}

@@ -165,4 +165,15 @@ fn main() {
          modelled Read Until speedup",
         point.true_positive_rate, point.false_positive_rate, point.decision_prefix_samples
     );
+
+    // Everything above was instrumented as it ran: per-chunk push latency
+    // quantiles, the normalize/DP/decision time split, and the early-eject
+    // counters all come for free from the telemetry registry (build with
+    // `--no-default-features` and the table reports itself disabled).
+    let early_rejects = squigglefilter::telemetry::snapshot()
+        .counter(squigglefilter::sdtw::telemetry::SDTW_EARLY_REJECTS)
+        .unwrap_or(0);
+    println!();
+    println!("telemetry ({early_rejects} early ejects this run):");
+    println!("{}", squigglefilter::telemetry::snapshot().to_table());
 }

@@ -20,6 +20,7 @@
 //! | [`variant`] | `sf-variant` | pileup consensus, SNP calling, assembly driver |
 //! | [`readuntil`] | `sf-readuntil` | sequencing-runtime model, breakdown and scalability analyses |
 //! | [`metrics`] | `sf-metrics` | confusion matrices, ROC sweeps, histograms |
+//! | [`telemetry`] | `sf-telemetry` | runtime counters, latency histograms, registry snapshots |
 //!
 //! # Quick start
 //!
@@ -65,6 +66,7 @@ pub use sf_readuntil as readuntil;
 pub use sf_sdtw as sdtw;
 pub use sf_sim as sim;
 pub use sf_squiggle as squiggle;
+pub use sf_telemetry as telemetry;
 pub use sf_variant as variant;
 
 /// Commonly used items, re-exported for convenience.
