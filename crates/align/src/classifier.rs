@@ -246,6 +246,7 @@ impl ClassifierSession for MapperSession<'_> {
             }
         }
         StreamClassification {
+            // sf-lint: allow(panic) -- only reached after the decision latch is set above
             verdict: self.decision.verdict().expect("decision is final"),
             score: self.score,
             result: None,

@@ -183,6 +183,7 @@ impl UncalledClassifier {
         let mut sorted_levels: Vec<(f32, usize)> = (0..model.len())
             .map(|rank| (model.level(rank).mean_pa, rank))
             .collect();
+        // sf-lint: allow(panic) -- pore-model levels are finite by construction
         sorted_levels.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite levels"));
         UncalledClassifier {
             index: FmIndex::build(reference),
@@ -254,6 +255,7 @@ impl UncalledClassifier {
             (a.0 - mean)
                 .abs()
                 .partial_cmp(&(b.0 - mean).abs())
+                // sf-lint: allow(panic) -- pore-model levels are finite by construction
                 .expect("finite levels")
         });
         candidates

@@ -124,7 +124,9 @@ impl Mapper {
         if score < self.config.min_score {
             return None;
         }
+        // sf-lint: allow(panic) -- a chain that met min_score has at least one anchor
         let first = chain.first().expect("non-empty chain");
+        // sf-lint: allow(panic) -- a chain that met min_score has at least one anchor
         let last = chain.last().expect("non-empty chain");
         // Extend the mapped region to cover the whole read.
         let reference_start = first.1.saturating_sub(first.0);

@@ -71,6 +71,7 @@ pub fn minimizers(seq: &Sequence, params: MinimizerParams) -> Vec<Minimizer> {
             .iter()
             .enumerate()
             .min_by_key(|(_, &h)| h)
+            // sf-lint: allow(panic) -- w >= 1, so every window slice is non-empty
             .expect("window is non-empty");
         let pos = window_start + offset;
         if last != Some(pos) {

@@ -146,6 +146,7 @@ impl Basecaller {
         let mut state = prev
             .iter()
             .enumerate()
+            // sf-lint: allow(panic) -- Viterbi scores are finite log-probabilities
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
             .map(|(s, _)| s)
             .unwrap_or(0);

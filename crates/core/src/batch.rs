@@ -184,6 +184,7 @@ impl<C: ReadClassifier + Sync> BatchClassifier<C> {
                     reads,
                     labels: label_chunks
                         .as_mut()
+                        // sf-lint: allow(panic) -- labels were chunked with the same shard bounds as reads
                         .map(|l| l.next().expect("label shard")),
                     out,
                 })
@@ -207,9 +208,11 @@ impl<C: ReadClassifier + Sync> BatchClassifier<C> {
                         // would keep the MutexGuard alive through the loop
                         // body, serializing every worker on the queue lock.
                         let sw = sf_telemetry::Stopwatch::start();
+                        // sf-lint: allow(panic) -- poisoned only if a sibling worker panicked
                         let next = queue.lock().expect("shard queue").pop_front();
                         m.queue_wait_ns.record(sw.elapsed_ns());
                         let Some(shard) = next else { break };
+                        // sf-lint: hot-path
                         for (i, read) in shard.reads.iter().enumerate() {
                             let classification = self.classifier.classify_stream(read);
                             if let Some(labels) = shard.labels {
@@ -218,9 +221,11 @@ impl<C: ReadClassifier + Sync> BatchClassifier<C> {
                             shard.out[i] = Some(classification);
                             local_reads += 1;
                         }
+                        // sf-lint: end-hot-path
                     }
                     m.worker_reads.record(local_reads);
                     m.batch_reads.add(local_reads);
+                    // sf-lint: allow(panic) -- poisoned only if a sibling worker panicked
                     merged.lock().expect("confusion merge").merge(&local);
                 });
             }
@@ -229,8 +234,10 @@ impl<C: ReadClassifier + Sync> BatchClassifier<C> {
         BatchReport {
             classifications: out
                 .into_iter()
+                // sf-lint: allow(panic) -- the scoped pool drains the whole queue before joining
                 .map(|c| c.expect("every shard processed"))
                 .collect(),
+            // sf-lint: allow(panic) -- poisoned only if a worker panicked
             confusion: merged.into_inner().expect("confusion merge"),
             threads_used: threads,
             shards: shard_count,

@@ -26,6 +26,7 @@ use sf_squiggle::RawSquiggle;
 use sf_telemetry::Stopwatch;
 
 /// Read Until decision for one read.
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum FilterVerdict {
     /// The read matches the target reference: keep sequencing it.
@@ -232,6 +233,7 @@ impl SquiggleFilter {
                 let query = self.normalizer.normalize_raw_quantized(prefix.samples());
                 self.int_kernel
                     .as_ref()
+                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
                     .expect("int kernel present")
                     .align(&query)
             }
@@ -239,6 +241,7 @@ impl SquiggleFilter {
                 let query = self.normalizer.normalize_raw(prefix.samples());
                 self.float_kernel
                     .as_ref()
+                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
                     .expect("float kernel present")
                     .align(&query)
             }
@@ -257,12 +260,14 @@ impl SquiggleFilter {
                 let quantized: Vec<i8> = query.iter().copied().map(quantize).collect();
                 self.int_kernel
                     .as_ref()
+                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
                     .expect("int kernel present")
                     .align(&quantized)
             }
             FilterPrecision::Float32 => self
                 .float_kernel
                 .as_ref()
+                // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
                 .expect("float kernel present")
                 .align(query),
         }
@@ -311,12 +316,14 @@ impl SquiggleFilter {
             FilterPrecision::Int8 => SessionKernel::Int(
                 self.int_kernel
                     .as_ref()
+                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
                     .expect("int kernel present")
                     .stream(),
             ),
             FilterPrecision::Float32 => SessionKernel::Float(
                 self.float_kernel
                     .as_ref()
+                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
                     .expect("float kernel present")
                     .stream(),
             ),
@@ -369,10 +376,12 @@ impl SessionKernel<'_> {
     }
 
     fn push(&mut self, normalized: f32) {
+        // sf-lint: hot-path
         match self {
             SessionKernel::Int(s) => s.push(quantize(normalized)),
             SessionKernel::Float(s) => s.push(normalized),
         }
+        // sf-lint: end-hot-path
     }
 }
 
@@ -430,6 +439,7 @@ fn advance(
     let n = kernel.samples();
     if n == config.prefix_samples {
         let sw = Stopwatch::start();
+        // sf-lint: allow(panic) -- best() is Some once any sample has been pushed
         let best = kernel.best().expect("samples were pushed");
         stats.decision_ns += sw.elapsed_ns();
         *decision = if best.cost <= config.threshold {
@@ -443,6 +453,7 @@ fn advance(
     if n == *next_check {
         *next_check += config.early_exit_interval;
         let sw = Stopwatch::start();
+        // sf-lint: allow(panic) -- best() is Some once any sample has been pushed
         let best = kernel.best().expect("samples were pushed");
         stats.decision_ns += sw.elapsed_ns();
         let slack = config.sdtw.early_reject_slack(config.prefix_samples - n);
@@ -570,8 +581,10 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             // Resolved at end-of-read: every received sample was needed.
             self.decided_at = Some(self.feed.received());
         }
+        // sf-lint: allow(panic) -- the decision latch above always stores a result first
         let result = self.result.expect("final decision carries a result");
         StreamClassification {
+            // sf-lint: allow(panic) -- finalize() resolved the decision on the lines above
             verdict: self.decision.verdict().expect("decision is final"),
             score: result.cost,
             result: Some(result),

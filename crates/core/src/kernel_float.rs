@@ -120,6 +120,7 @@ impl FloatSdtwStream<'_> {
 
     /// Pushes a single query sample, updating the DP row.
     pub fn push(&mut self, q: f32) {
+        // sf-lint: hot-path
         let config = &self.engine.config;
         let reference = &self.engine.reference;
         let m = reference.len();
@@ -168,6 +169,7 @@ impl FloatSdtwStream<'_> {
         std::mem::swap(&mut self.dwell, &mut self.scratch_dwell);
         std::mem::swap(&mut self.starts, &mut self.scratch_starts);
         self.samples += 1;
+        // sf-lint: end-hot-path
     }
 
     /// The best subsequence alignment of everything pushed so far, or `None`
@@ -180,6 +182,7 @@ impl FloatSdtwStream<'_> {
             .row
             .iter()
             .enumerate()
+            // sf-lint: allow(panic) -- the DP recurrence only produces finite costs
             .min_by(|a, b| a.1.partial_cmp(b.1).expect("costs are finite"))?;
         Some(SdtwResult {
             cost: cost as f64,

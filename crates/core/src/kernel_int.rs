@@ -118,6 +118,7 @@ impl IntSdtwStream<'_> {
 
     /// Pushes a single query sample, updating the DP row.
     pub fn push(&mut self, q: i8) {
+        // sf-lint: hot-path
         let config = &self.engine.config;
         let reference = &self.engine.reference;
         let m = reference.len();
@@ -163,6 +164,7 @@ impl IntSdtwStream<'_> {
         std::mem::swap(&mut self.dwell, &mut self.scratch_dwell);
         std::mem::swap(&mut self.starts, &mut self.scratch_starts);
         self.samples += 1;
+        // sf-lint: end-hot-path
     }
 
     /// The best subsequence alignment of everything pushed so far, or `None`

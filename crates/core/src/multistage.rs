@@ -180,6 +180,7 @@ impl MultiStageFilter {
                 stream.extend(&query[consumed..until]);
                 consumed = until;
             }
+            // sf-lint: allow(panic) -- every stage extends the stream before deciding
             let result = stream.best().expect("at least one sample was pushed");
             let reject = result.cost > stage.threshold;
             let is_last = index == last_stage || consumed == query.len();
@@ -230,6 +231,7 @@ impl ReadClassifier for MultiStageFilter {
         self.config
             .stages
             .last()
+            // sf-lint: allow(panic) -- MultiStageConfig::validate rejects empty stage lists
             .expect("stages are validated non-empty")
             .prefix_samples
     }
@@ -288,6 +290,7 @@ fn advance(
     let n = stream.samples_processed();
     if n == stages[*stage].prefix_samples {
         let sw = Stopwatch::start();
+        // sf-lint: allow(panic) -- best() is Some once any sample has been pushed
         let best = stream.best().expect("samples were pushed");
         stats.decision_ns += sw.elapsed_ns();
         if best.cost > stages[*stage].threshold {
@@ -434,8 +437,10 @@ impl ClassifierSession for MultiStageSession<'_> {
             // Resolved at end-of-read: every received sample was needed.
             self.decided_at = Some(self.feed.received());
         }
+        // sf-lint: allow(panic) -- the decision latch above always stores a result first
         let result = self.result.expect("final decision carries a result");
         StreamClassification {
+            // sf-lint: allow(panic) -- finalize() resolved the decision on the lines above
             verdict: self.decision.verdict().expect("decision is final"),
             score: result.cost,
             result: Some(result),

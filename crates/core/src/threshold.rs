@@ -33,10 +33,12 @@ impl ThresholdSweep {
     /// lower threshold, i.e. fewer false positives).
     pub fn best_f1(&self) -> Option<OperatingPoint> {
         self.points.iter().copied().max_by(|a, b| {
+            // sf-lint: allow(panic) -- F1 of finite rates is finite
             match a.f1.partial_cmp(&b.f1).expect("finite f1") {
                 std::cmp::Ordering::Equal => b
                     .threshold
                     .partial_cmp(&a.threshold)
+                    // sf-lint: allow(panic) -- thresholds come from finite alignment costs
                     .expect("finite threshold"),
                 other => other,
             }
@@ -77,6 +79,7 @@ pub fn calibrate_threshold(target_costs: &[f64], background_costs: &[f64]) -> Th
         Vec::with_capacity(target_costs.len() + background_costs.len() + 2);
     candidates.extend_from_slice(target_costs);
     candidates.extend_from_slice(background_costs);
+    // sf-lint: allow(panic) -- alignment costs are finite by construction
     candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
     candidates.dedup();
 

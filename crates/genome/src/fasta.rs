@@ -173,7 +173,9 @@ pub fn write<W: Write>(mut writer: W, records: &[FastaRecord], width: usize) -> 
 /// Formats records as a FASTA string with 70-column wrapping.
 pub fn to_string(records: &[FastaRecord]) -> String {
     let mut buf = Vec::new();
+    // sf-lint: allow(panic) -- io::Write for Vec<u8> is infallible
     write(&mut buf, records, 70).expect("writing to a Vec cannot fail");
+    // sf-lint: allow(panic) -- the writer only emits ASCII bases and headers
     String::from_utf8(buf).expect("fasta output is ascii")
 }
 

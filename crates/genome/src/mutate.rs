@@ -157,17 +157,20 @@ impl Mutator {
         let mut chosen = positions.into_iter();
         let mut mutations = Vec::with_capacity(total);
         for _ in 0..self.substitutions {
+            // sf-lint: allow(panic) -- the assert above guarantees total <= reference.len()
             let position = chosen.next().expect("enough positions");
             let from = reference[position];
             let to = from.rotate(rng.random_range(1..4));
             mutations.push(Mutation::Substitution { position, to });
         }
         for _ in 0..self.insertions {
+            // sf-lint: allow(panic) -- the assert above guarantees total <= reference.len()
             let position = chosen.next().expect("enough positions");
             let base = Base::from_code(rng.random_range(0..4));
             mutations.push(Mutation::Insertion { position, base });
         }
         for _ in 0..self.deletions {
+            // sf-lint: allow(panic) -- the assert above guarantees total <= reference.len()
             let position = chosen.next().expect("enough positions");
             mutations.push(Mutation::Deletion { position });
         }

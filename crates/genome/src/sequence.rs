@@ -58,6 +58,7 @@ impl Sequence {
     }
 
     /// Creates an empty sequence with room for `capacity` bases.
+    #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         Sequence {
             bases: Vec::with_capacity(capacity),
@@ -292,6 +293,7 @@ impl PackedSequence {
             let last = self
                 .data
                 .last_mut()
+                // sf-lint: allow(panic) -- offset > 0 means a partially filled byte exists
                 .expect("non-empty data when offset > 0");
             *last |= base.code() << bit_offset;
         }
@@ -311,12 +313,14 @@ impl PackedSequence {
     /// Unpacks into an ordinary [`Sequence`].
     pub fn to_sequence(&self) -> Sequence {
         (0..self.len)
+            // sf-lint: allow(panic) -- i ranges over 0..self.len
             .map(|i| self.get(i).expect("index in range"))
             .collect()
     }
 
     /// Iterator over the stored bases.
     pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        // sf-lint: allow(panic) -- i ranges over 0..self.len
         (0..self.len).map(move |i| self.get(i).expect("index in range"))
     }
 }

@@ -1,0 +1,64 @@
+//! The [`Finding`] type every rule reports.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One rule violation, anchored to a `file:line` location.
+///
+/// `rule` is the stable identifier printed in brackets and accepted by the
+/// `// sf-lint: allow(<rule>) -- <reason>` escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the finding is in, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (also the name used in `allow(...)`).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Finding {
+    /// Builds a finding; `file` should already be workspace-relative.
+    pub fn new(
+        file: impl Into<PathBuf>,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )?;
+        write!(f, "    hint: {}", self.hint)
+    }
+}
+
+/// Sorts findings by file then line then rule, for deterministic output.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule)
+            .partial_cmp(&(&b.file, b.line, b.rule))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}

@@ -1,0 +1,56 @@
+//! The `sf-lint` binary: lints the enclosing workspace and exits nonzero on
+//! any finding. See `docs/static-analysis.md` for the rule catalog.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+fn find_workspace_root(start: PathBuf) -> Option<PathBuf> {
+    let mut dir = start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(flag) if flag == "--root" => args.next().map(PathBuf::from),
+        Some(other) => {
+            eprintln!("usage: sf-lint [--root <workspace-root>] (got {other:?})");
+            return ExitCode::from(2);
+        }
+        None => std::env::current_dir().ok().and_then(find_workspace_root),
+    };
+    let Some(root) = root else {
+        eprintln!("sf-lint: no workspace root found (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+
+    match sf_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("sf-lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("sf-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("sf-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

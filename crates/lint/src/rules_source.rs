@@ -1,0 +1,414 @@
+//! Source-layer rules: panic freedom, lock discipline, hot-path purity,
+//! must-use builders, and allow-comment syntax.
+
+use crate::diag::Finding;
+use crate::scan::{Directive, SourceFile};
+
+/// Rule id: `unwrap`/`expect`/`panic!`/`todo!` in non-test library code.
+pub const RULE_PANIC: &str = "panic";
+/// Rule id: a lock guard bound in a loop scrutinee or held across a loop.
+pub const RULE_LOCK: &str = "lock-across-loop";
+/// Rule id: a denied call inside a fenced hot-path region.
+pub const RULE_HOT_PATH: &str = "hot-path";
+/// Rule id: a `with_*` builder or Decision-like enum missing `#[must_use]`.
+pub const RULE_MUST_USE: &str = "must-use";
+/// Rule id: an `allow(...)` directive without the mandatory justification.
+pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// Runs every source rule on one preprocessed file.
+///
+/// `is_binary` should be true for `src/bin/` / `src/main.rs` targets: the
+/// panic-freedom rule applies to library code only (a CLI driver may panic
+/// on unrecoverable I/O), while the other rules still apply.
+pub fn lint_source(file: &SourceFile, is_binary: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_allow_syntax(file, &mut findings);
+    if !is_binary {
+        check_panics(file, &mut findings);
+    }
+    check_locks(file, &mut findings);
+    check_hot_paths(file, &mut findings);
+    check_must_use(file, &mut findings);
+    findings
+}
+
+fn check_allow_syntax(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if let Some(Directive::Allow {
+            rules,
+            reason_given,
+        }) = &line.directive
+        {
+            if !reason_given {
+                findings.push(Finding::new(
+                    &file.path,
+                    i + 1,
+                    RULE_ALLOW_SYNTAX,
+                    format!(
+                        "allow({}) without a justification — the directive is ignored",
+                        rules.join(", ")
+                    ),
+                    "write `// sf-lint: allow(<rule>) -- <why this is sound here>`",
+                ));
+            }
+        }
+    }
+}
+
+const PANIC_TOKENS: &[&str] = &[".unwrap()", ".expect(", "panic!", "todo!"];
+
+fn check_panics(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.code.is_empty() {
+            continue;
+        }
+        for token in PANIC_TOKENS {
+            if line.code.contains(token) && !file.allowed(i, RULE_PANIC) {
+                findings.push(Finding::new(
+                    &file.path,
+                    i + 1,
+                    RULE_PANIC,
+                    format!("`{token}` in non-test library code"),
+                    "return a Result, handle the failing case, or append \
+                     `// sf-lint: allow(panic) -- <why this cannot fail>`",
+                ));
+            }
+        }
+    }
+}
+
+/// Guard-producing calls: a `MutexGuard` / `RwLock{Read,Write}Guard` is born
+/// wherever one of these appears.
+const LOCK_CALLS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// True when `tail` (the text after a lock call) keeps the binding a guard:
+/// only `.unwrap()` / `.expect(..)` / `?` wrappers, ending the statement.
+fn tail_keeps_guard(tail: &str) -> bool {
+    let mut t = tail.trim();
+    loop {
+        if let Some(rest) = t.strip_prefix(".unwrap()") {
+            t = rest.trim_start();
+        } else if let Some(rest) = t.strip_prefix(".expect(") {
+            match rest.find(')') {
+                Some(close) => t = rest[close + 1..].trim_start(),
+                None => return false,
+            }
+        } else if let Some(rest) = t.strip_prefix('?') {
+            t = rest.trim_start();
+        } else {
+            break;
+        }
+    }
+    t.is_empty() || t == ";"
+}
+
+/// A live named lock guard.
+struct Guard {
+    name: String,
+    depth: i32,
+    line: usize,
+}
+
+fn check_locks(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        let trimmed = code.trim_start();
+
+        // (a) Guard born in a `while let` / `if let` scrutinee: the temporary
+        // lives until the end of the whole loop/if statement, serializing
+        // everything in the body (the PR 3 batch-pool bug).
+        if trimmed.starts_with("while let") || trimmed.starts_with("if let") {
+            let mut joined = trimmed.to_string();
+            let mut j = i;
+            while !joined.contains('{') && j + 1 < file.lines.len() && j < i + 4 {
+                j += 1;
+                joined.push(' ');
+                joined.push_str(file.lines[j].code.trim());
+            }
+            if let Some(eq) = joined.find('=') {
+                let scrutinee = joined[eq + 1..].split('{').next().unwrap_or("");
+                if LOCK_CALLS.iter().any(|c| scrutinee.contains(c)) && !file.allowed(i, RULE_LOCK) {
+                    findings.push(Finding::new(
+                        &file.path,
+                        i + 1,
+                        RULE_LOCK,
+                        "lock guard created in a `let`-scrutinee lives for the whole \
+                         statement, holding the lock across the body",
+                        "take the lock in its own statement so the guard drops before \
+                         the body runs (e.g. `let next = q.lock().unwrap().pop(); \
+                         while let Some(x) = next { ... }` shape)",
+                    ));
+                }
+            }
+        } else if (trimmed.starts_with("for ")
+            || trimmed.starts_with("while ")
+            || trimmed == "loop"
+            || trimmed.starts_with("loop {"))
+            && !guards.is_empty()
+        {
+            // (b) A loop entered while a named guard is still live.
+            for g in &guards {
+                if !file.allowed(i, RULE_LOCK) {
+                    findings.push(Finding::new(
+                        &file.path,
+                        i + 1,
+                        RULE_LOCK,
+                        format!(
+                            "loop entered while lock guard `{}` (bound at line {}) is live",
+                            g.name, g.line
+                        ),
+                        "drop the guard before looping (`drop(guard)`), or move the \
+                         locked work out of the loop",
+                    ));
+                }
+            }
+        } else if trimmed.starts_with("let ") {
+            // Track named guard bindings: `let g = x.lock().unwrap();` where
+            // the lock call (plus unwrap/expect/? wrappers) ends the statement.
+            for call in LOCK_CALLS {
+                if let Some(pos) = trimmed.find(call) {
+                    if tail_keeps_guard(&trimmed[pos + call.len()..]) {
+                        let after_let = trimmed
+                            .trim_start_matches("let ")
+                            .trim_start_matches("mut ");
+                        let name: String = after_let
+                            .chars()
+                            .take_while(|c| c.is_alphanumeric() || *c == '_')
+                            .collect();
+                        if !name.is_empty() {
+                            guards.push(Guard {
+                                name,
+                                depth,
+                                line: i + 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Explicit `drop(guard)` releases it.
+        if code.contains("drop(") {
+            guards.retain(|g| !code.contains(&format!("drop({})", g.name)));
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        // Scope closed: guards bound inside it are dead.
+        guards.retain(|g| depth >= g.depth);
+    }
+}
+
+/// Calls denied inside `// sf-lint: hot-path` regions, with what they are.
+const HOT_PATH_DENY: &[(&str, &str)] = &[
+    ("Instant::now", "clock read"),
+    ("SystemTime::now", "clock read"),
+    ("Stopwatch::", "telemetry stopwatch"),
+    ("Ordering::", "atomic operation"),
+    (".fetch_", "atomic RMW"),
+    ("AtomicU", "atomic type"),
+    ("AtomicI", "atomic type"),
+    ("AtomicBool", "atomic type"),
+    ("register_counter", "telemetry registry call"),
+    ("register_gauge", "telemetry registry call"),
+    ("register_histogram", "telemetry registry call"),
+    ("::metrics()", "telemetry registry call"),
+    ("sf_telemetry::", "telemetry call"),
+    ("Vec::new", "heap allocation"),
+    ("Vec::with_capacity", "heap allocation"),
+    ("vec!", "heap allocation"),
+    ("Box::new", "heap allocation"),
+    ("String::new", "heap allocation"),
+    ("String::from", "heap allocation"),
+    ("format!", "heap allocation"),
+    (".to_vec()", "heap allocation"),
+    (".to_string()", "heap allocation"),
+    (".to_owned()", "heap allocation"),
+    (".collect(", "heap allocation"),
+    (".clone()", "likely heap allocation"),
+];
+
+fn check_hot_paths(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut open: Option<usize> = None;
+    for (i, line) in file.lines.iter().enumerate() {
+        match &line.directive {
+            Some(Directive::HotPathStart) => {
+                if open.is_some() {
+                    findings.push(Finding::new(
+                        &file.path,
+                        i + 1,
+                        RULE_HOT_PATH,
+                        "nested `sf-lint: hot-path` marker",
+                        "close the previous region with `// sf-lint: end-hot-path` first",
+                    ));
+                }
+                open = Some(i + 1);
+                continue;
+            }
+            Some(Directive::HotPathEnd) => {
+                if open.is_none() {
+                    findings.push(Finding::new(
+                        &file.path,
+                        i + 1,
+                        RULE_HOT_PATH,
+                        "`sf-lint: end-hot-path` without an open region",
+                        "remove the stray marker or add the opening `// sf-lint: hot-path`",
+                    ));
+                }
+                open = None;
+                continue;
+            }
+            _ => {}
+        }
+        if open.is_none() || line.code.is_empty() {
+            continue;
+        }
+        for (pattern, what) in HOT_PATH_DENY {
+            if line.code.contains(pattern) && !file.allowed(i, RULE_HOT_PATH) {
+                findings.push(Finding::new(
+                    &file.path,
+                    i + 1,
+                    RULE_HOT_PATH,
+                    format!("{what} (`{pattern}`) inside a hot-path region"),
+                    "hot paths accumulate into plain u64 locals and flush once per \
+                     chunk outside the region (docs/observability.md design rule 2)",
+                ));
+            }
+        }
+    }
+    if let Some(start) = open {
+        findings.push(Finding::new(
+            &file.path,
+            start,
+            RULE_HOT_PATH,
+            "unclosed `sf-lint: hot-path` region",
+            "add `// sf-lint: end-hot-path` after the fenced loop",
+        ));
+    }
+}
+
+/// Names that make an enum "Decision-like": the value is a verdict a caller
+/// must not silently drop.
+const DECISION_NAME_PARTS: &[&str] = &["Decision", "Verdict"];
+
+fn check_must_use(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.code.is_empty() {
+            continue;
+        }
+        let code = line.code.trim_start();
+        let builder = (code.starts_with("pub fn with_")
+            || code.starts_with("pub const fn with_")
+            || code.starts_with("pub(crate) fn with_"))
+            && code.contains("->");
+        let decision_enum = code
+            .strip_prefix("pub enum ")
+            .map(|rest| {
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                DECISION_NAME_PARTS.iter().any(|p| name.contains(p))
+            })
+            .unwrap_or(false);
+        if !(builder || decision_enum) {
+            continue;
+        }
+        if has_must_use_above(file, i) || file.allowed(i, RULE_MUST_USE) {
+            continue;
+        }
+        let (what, hint) = if builder {
+            (
+                "`with_*` builder without `#[must_use]`",
+                "builders return the updated value — add `#[must_use]` so a dropped \
+                 result is a compile-time warning",
+            )
+        } else {
+            (
+                "Decision-like enum without `#[must_use]`",
+                "verdict enums steer the sequencer — add `#[must_use]` so an \
+                 unobserved verdict is a compile-time warning",
+            )
+        };
+        findings.push(Finding::new(&file.path, i + 1, RULE_MUST_USE, what, hint));
+    }
+}
+
+/// Walks up over attributes/doc comments looking for `#[must_use`.
+fn has_must_use_above(file: &SourceFile, idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let raw = file.raw[j].trim_start();
+        if raw.is_empty() {
+            return false;
+        }
+        let is_attr_or_comment = raw.starts_with("#[")
+            || raw.starts_with("//")
+            || raw.starts_with(")]")
+            || raw.ends_with(")]");
+        if !is_attr_or_comment {
+            return false;
+        }
+        if raw.starts_with("#[must_use") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(&SourceFile::parse("t.rs", src), false)
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "/// Doc.\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap_or(0)\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // sf-lint: allow(panic) -- x checked non-empty by caller contract\n    x.unwrap()\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_two_findings() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // sf-lint: allow(panic)\n}\n";
+        let found = lint(src);
+        let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&RULE_ALLOW_SYNTAX), "{rules:?}");
+        assert!(rules.contains(&RULE_PANIC), "{rules:?}");
+    }
+
+    #[test]
+    fn tail_keeps_guard_logic() {
+        assert!(tail_keeps_guard(";"));
+        assert!(tail_keeps_guard(".unwrap();"));
+        assert!(tail_keeps_guard(".expect(\"msg\");"));
+        assert!(tail_keeps_guard("?;"));
+        assert!(!tail_keeps_guard(".unwrap().pop_front();"));
+        assert!(!tail_keeps_guard(".iter().count();"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Line-oriented Rust source preprocessing.
+//!
+//! The source rules do not need a full parser: they work on lines whose
+//! comments are removed and whose string/char literal *contents* are blanked
+//! out, so a pattern like a lock call or a panic macro can be matched
+//! textually without tripping over the same token inside a string or a doc
+//! comment. The preprocessor also tracks `#[cfg(test)]`-gated regions (the
+//! panic/lock/must-use rules exempt test code) and parses `sf-lint:`
+//! directives out of ordinary `//` comments.
+
+use std::path::PathBuf;
+
+/// An `sf-lint:` directive found in a `//` comment.
+///
+/// Directives are only recognized in plain line comments — never in doc
+/// comments — so rule documentation can mention the syntax without
+/// activating it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `sf-lint: allow(rule, ...) -- reason` — suppresses the named rules on
+    /// this line and the next. `reason_given` is false when the mandatory
+    /// `-- <reason>` justification is missing (which voids the allow).
+    Allow {
+        /// The rule identifiers being allowed.
+        rules: Vec<String>,
+        /// Whether a non-empty justification string followed `--`.
+        reason_given: bool,
+    },
+    /// `sf-lint: hot-path` — opens a hot-path region.
+    HotPathStart,
+    /// `sf-lint: end-hot-path` — closes a hot-path region.
+    HotPathEnd,
+}
+
+/// One source line after lexical preprocessing.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Code with comments removed and string/char contents blanked.
+    pub code: String,
+    /// Parsed `sf-lint:` directive, if the line comment carried one.
+    pub directive: Option<Directive>,
+    /// Whether this line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// A preprocessed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as it should appear in findings (workspace-relative).
+    pub path: PathBuf,
+    /// The raw lines, 0-indexed (line `i` is source line `i + 1`).
+    pub raw: Vec<String>,
+    /// The preprocessed lines, parallel to `raw`.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state carried across lines.
+#[derive(Default)]
+struct LexState {
+    /// Nesting depth of `/* */` block comments.
+    block_comment: usize,
+    /// Inside a normal `"` string that did not close on its line.
+    in_string: bool,
+    /// Inside a raw string; the payload is the number of `#`s.
+    raw_string: Option<usize>,
+}
+
+/// Strips one line: returns (code-with-blanked-literals, comment-text).
+/// Doc comments (`///`, `//!`) yield an empty comment — directives are not
+/// recognized there.
+fn strip_line(raw: &str, st: &mut LexState) -> (String, String) {
+    let chars: Vec<char> = raw.chars().collect();
+    let n = chars.len();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < n {
+        if st.block_comment > 0 {
+            if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                st.block_comment -= 1;
+                i += 2;
+            } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                st.block_comment += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if let Some(hashes) = st.raw_string {
+            if chars[i] == '"' && chars[i + 1..].iter().take_while(|c| **c == '#').count() >= hashes
+            {
+                st.raw_string = None;
+                code.push('"');
+                i += 1 + hashes;
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if st.in_string {
+            match chars[i] {
+                '\\' => i += 2,
+                '"' => {
+                    st.in_string = false;
+                    code.push('"');
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+            continue;
+        }
+        let c = chars[i];
+        match c {
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let rest: String = chars[i..].iter().collect();
+                let is_doc = rest.starts_with("///") || rest.starts_with("//!");
+                if !is_doc {
+                    comment = rest.chars().skip(2).collect();
+                }
+                break;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                st.block_comment = 1;
+                i += 2;
+            }
+            '"' => {
+                st.in_string = true;
+                code.push('"');
+                i += 1;
+            }
+            'r' if i + 1 < n && (chars[i + 1] == '"' || chars[i + 1] == '#') => {
+                // Possible raw string r"..." / r#"..."#; count the hashes.
+                let hashes = chars[i + 1..].iter().take_while(|c| **c == '#').count();
+                if i + 1 + hashes < n && chars[i + 1 + hashes] == '"' {
+                    st.raw_string = Some(hashes);
+                    code.push('"');
+                    i += 2 + hashes;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Distinguish char literals from lifetimes: a char literal is
+                // 'x' or an escape; a lifetime has no closing quote nearby.
+                if i + 1 < n && chars[i + 1] == '\\' {
+                    // Escape: skip to the closing quote.
+                    let mut j = i + 2;
+                    while j < n && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                } else if i + 2 < n && chars[i + 2] == '\'' {
+                    i += 3;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    (code, comment)
+}
+
+/// Parses an `sf-lint:` directive from comment text, if present.
+pub fn parse_directive(comment: &str) -> Option<Directive> {
+    let rest = comment.trim().strip_prefix("sf-lint:")?.trim();
+    if rest == "hot-path" {
+        return Some(Directive::HotPathStart);
+    }
+    if rest == "end-hot-path" {
+        return Some(Directive::HotPathEnd);
+    }
+    let args = rest.strip_prefix("allow(")?;
+    let close = args.find(')')?;
+    let rules: Vec<String> = args[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let tail = args[close + 1..].trim();
+    let reason_given = tail
+        .strip_prefix("--")
+        .is_some_and(|r| !r.trim().is_empty());
+    Some(Directive::Allow {
+        rules,
+        reason_given,
+    })
+}
+
+impl SourceFile {
+    /// Preprocesses `text` into lines; `path` is used verbatim in findings.
+    pub fn parse(path: impl Into<PathBuf>, text: &str) -> Self {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut st = LexState::default();
+        let mut lines: Vec<Line> = raw
+            .iter()
+            .map(|r| {
+                let (code, comment) = strip_line(r, &mut st);
+                Line {
+                    code,
+                    directive: parse_directive(&comment),
+                    in_test: false,
+                }
+            })
+            .collect();
+
+        // Second pass: mark `#[cfg(test)]`-gated regions. The attribute arms
+        // the tracker; the next `{` opens the region, which ends when the
+        // brace depth returns below its opening level.
+        let mut depth: i32 = 0;
+        let mut armed = false;
+        let mut test_open_depth: Option<i32> = None;
+        for line in &mut lines {
+            if line.code.contains("cfg(test)") || line.code.contains("cfg(all(test") {
+                armed = true;
+            }
+            line.in_test = armed || test_open_depth.is_some();
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if armed {
+                            armed = false;
+                            test_open_depth = Some(depth);
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if test_open_depth.is_some_and(|d| depth < d) {
+                            test_open_depth = None;
+                        }
+                    }
+                    // `#[cfg(test)]` on a braceless item (a `use`, a `mod x;`)
+                    // gates only that statement — disarm at its semicolon.
+                    ';' if armed => armed = false,
+                    _ => {}
+                }
+            }
+        }
+
+        SourceFile {
+            path: path.into(),
+            raw,
+            lines,
+        }
+    }
+
+    /// Whether `rule` is allowed (with a justification) on 0-indexed line
+    /// `idx` — by a directive on the line itself or on the line above.
+    pub fn allowed(&self, idx: usize, rule: &str) -> bool {
+        let covers = |i: usize| match &self.lines[i].directive {
+            Some(Directive::Allow {
+                rules,
+                reason_given,
+            }) => *reason_given && rules.iter().any(|r| r == rule),
+            _ => false,
+        };
+        covers(idx) || (idx > 0 && covers(idx - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::parse("t.rs", "let x = \"a.unwrap()\"; // .unwrap() here\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].directive.is_none());
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let f = SourceFile::parse("t.rs", "/// sf-lint: hot-path\n// sf-lint: hot-path\n");
+        assert_eq!(f.lines[0].directive, None);
+        assert_eq!(f.lines[1].directive, Some(Directive::HotPathStart));
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let with = parse_directive(" sf-lint: allow(panic) -- length checked above");
+        let without = parse_directive(" sf-lint: allow(panic)");
+        let empty = parse_directive(" sf-lint: allow(panic) --   ");
+        assert_eq!(
+            with,
+            Some(Directive::Allow {
+                rules: vec!["panic".into()],
+                reason_given: true
+            })
+        );
+        for d in [without, empty] {
+            let Some(Directive::Allow { reason_given, .. }) = d else {
+                unreachable!("parsed as allow");
+            };
+            assert!(!reason_given);
+        }
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::parse("t.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::parse("t.rs", "fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(f.lines[0].code.contains("str"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = SourceFile::parse("t.rs", "/* a\n .unwrap() \n*/ fn ok() {}\n");
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("fn ok"));
+    }
+}

@@ -1,0 +1,315 @@
+//! A hand-rolled minimal TOML reader — just enough for `Cargo.toml`.
+//!
+//! The build environment has no crates.io access, so this parser is written
+//! from scratch against the subset of TOML that cargo manifests in this
+//! workspace actually use: `[table]` headers, `key = value` pairs, strings,
+//! booleans, (possibly multi-line) arrays of strings, and inline tables.
+//! Anything else is preserved as an opaque [`Value::Other`]. It does not aim
+//! to validate TOML — malformed input degrades to `Other`, never a panic.
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// An array; only the quoted-string elements are retained.
+    Array(Vec<String>),
+    /// An inline table `{ k = v, ... }`.
+    Inline(Vec<(String, Value)>),
+    /// Anything the reader does not model (numbers, dates, nested arrays).
+    Other(String),
+}
+
+impl Value {
+    /// Looks up `key` in an inline table.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Inline(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[String]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// One `key = value` pair with its source line.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The (unquoted) key.
+    pub key: String,
+    /// 1-based line of the key.
+    pub line: usize,
+    /// The parsed value.
+    pub value: Value,
+}
+
+/// One `[table]` with its entries.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Dotted table name (empty for the implicit root table).
+    pub name: String,
+    /// 1-based line of the header (0 for the root table).
+    pub line: usize,
+    /// Entries in declaration order.
+    pub entries: Vec<Entry>,
+}
+
+impl Table {
+    /// Looks up `key` in this table.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A parsed manifest.
+#[derive(Debug, Clone, Default)]
+pub struct Doc {
+    /// All tables, in declaration order; index 0 is the implicit root.
+    pub tables: Vec<Table>,
+}
+
+impl Doc {
+    /// The table with the given dotted name, if present.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Convenience: `table(name)` and then `get(key)`.
+    pub fn get(&self, table: &str, key: &str) -> Option<&Entry> {
+        self.table(table).and_then(|t| t.get(key))
+    }
+}
+
+/// Removes a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Counts bracket/brace nesting outside strings; used to join multi-line
+/// values (feature arrays spanning several lines).
+fn open_brackets(text: &str) -> i32 {
+    let mut depth = 0;
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// Splits `text` on top-level commas (outside strings, brackets, braces).
+fn split_top_level(text: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0;
+    let mut in_str = false;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Extracts every quoted string from `text`, in order.
+fn quoted_strings(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for c in text.chars() {
+        match (&mut current, c) {
+            (Some(s), '"') => {
+                out.push(std::mem::take(s));
+                current = None;
+            }
+            (Some(s), _) => s.push(c),
+            (None, '"') => current = Some(String::new()),
+            (None, _) => {}
+        }
+    }
+    out
+}
+
+fn parse_value(text: &str) -> Value {
+    let t = text.trim();
+    if let Some(rest) = t.strip_prefix('"') {
+        if let Some(end) = rest.find('"') {
+            return Value::Str(rest[..end].to_string());
+        }
+    }
+    match t {
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        _ => {}
+    }
+    if t.starts_with('[') && t.ends_with(']') {
+        return Value::Array(quoted_strings(&t[1..t.len() - 1]));
+    }
+    if t.starts_with('{') && t.ends_with('}') {
+        let inner = &t[1..t.len() - 1];
+        let mut pairs = Vec::new();
+        for part in split_top_level(inner) {
+            if let Some(eq) = part.find('=') {
+                let key = part[..eq].trim().trim_matches('"').to_string();
+                if !key.is_empty() {
+                    pairs.push((key, parse_value(&part[eq + 1..])));
+                }
+            }
+        }
+        return Value::Inline(pairs);
+    }
+    Value::Other(t.to_string())
+}
+
+/// Parses manifest `text` into a [`Doc`]. Never fails: unmodelled syntax
+/// becomes [`Value::Other`] entries.
+pub fn parse(text: &str) -> Doc {
+    let mut doc = Doc {
+        tables: vec![Table {
+            name: String::new(),
+            line: 0,
+            entries: Vec::new(),
+        }],
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let line_no = i + 1;
+        let stripped = strip_comment(lines[i]);
+        let t = stripped.trim();
+        i += 1;
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('[') {
+            let name = t
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .trim()
+                .to_string();
+            doc.tables.push(Table {
+                name,
+                line: line_no,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let Some(eq) = t.find('=') else { continue };
+        let key = t[..eq].trim().trim_matches('"').to_string();
+        let mut value_text = t[eq + 1..].to_string();
+        // Join continuation lines until every bracket opened by the value is
+        // closed again (multi-line feature arrays).
+        while open_brackets(&value_text) > 0 && i < lines.len() {
+            value_text.push(' ');
+            value_text.push_str(strip_comment(lines[i]).trim());
+            i += 1;
+        }
+        if let Some(last) = doc.tables.last_mut() {
+            last.entries.push(Entry {
+                key,
+                line: line_no,
+                value: parse_value(&value_text),
+            });
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_strings_and_bools() {
+        let doc = parse("[package]\nname = \"x\" # comment\n[lints]\nworkspace = true\n");
+        assert_eq!(
+            doc.get("package", "name").map(|e| &e.value),
+            Some(&Value::Str("x".into()))
+        );
+        assert_eq!(
+            doc.get("lints", "workspace")
+                .and_then(|e| e.value.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn parses_inline_tables() {
+        let doc =
+            parse("[dependencies]\nfoo = { path = \"crates/foo\", default-features = false }\n");
+        let entry = doc.get("dependencies", "foo").map(|e| &e.value);
+        let Some(v) = entry else {
+            unreachable!("entry parsed")
+        };
+        assert_eq!(v.get("path").and_then(Value::as_str), Some("crates/foo"));
+        assert_eq!(
+            v.get("default-features").and_then(Value::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn parses_multiline_arrays() {
+        let doc =
+            parse("[features]\ntelemetry = [\n  \"a/tel\",\n  \"b/tel\", # x\n]\nempty = []\n");
+        let items = doc
+            .get("features", "telemetry")
+            .and_then(|e| e.value.as_array())
+            .map(<[String]>::to_vec);
+        assert_eq!(items, Some(vec!["a/tel".to_string(), "b/tel".to_string()]));
+        assert_eq!(
+            doc.get("features", "empty")
+                .and_then(|e| e.value.as_array()),
+            Some(&[][..])
+        );
+    }
+
+    #[test]
+    fn entry_lines_are_recorded() {
+        let doc = parse("[a]\nx = 1\ny = 2\n");
+        assert_eq!(doc.get("a", "y").map(|e| e.line), Some(3));
+    }
+}

@@ -1,0 +1,4 @@
+pub fn nope(v: &[u32]) -> u32 {
+    // sf-lint: allow(panic)
+    v.first().unwrap() + 1
+}

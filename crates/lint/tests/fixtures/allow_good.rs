@@ -1,0 +1,4 @@
+pub fn yep(v: &[u32]) -> u32 {
+    // sf-lint: allow(panic) -- the caller guarantees a non-empty slice
+    v.first().unwrap() + 1
+}

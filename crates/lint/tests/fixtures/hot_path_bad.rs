@@ -1,0 +1,19 @@
+pub fn kernel(row: &mut [f32], q: f32) -> f32 {
+    // sf-lint: hot-path
+    let mut acc = 0.0;
+    for r in row.iter_mut() {
+        *r += q;
+        acc += *r;
+        let label = format!("r={r}");
+        drop(label);
+    }
+    // sf-lint: end-hot-path
+    acc
+}
+
+pub fn unclosed(row: &mut [f32]) {
+    // sf-lint: hot-path
+    for r in row.iter_mut() {
+        *r += 1.0;
+    }
+}

@@ -1,0 +1,15 @@
+pub fn kernel(row: &mut [f32], q: f32) -> f32 {
+    let mut rows = 0u64;
+    // sf-lint: hot-path
+    let mut acc = 0.0;
+    for r in row.iter_mut() {
+        *r += q;
+        acc += *r;
+        rows += 1;
+    }
+    // sf-lint: end-hot-path
+    // Telemetry flushes once per chunk, outside the fenced region.
+    let label = format!("rows={rows}");
+    drop(label);
+    acc
+}

@@ -1,0 +1,22 @@
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The PR 3 batch-pool bug: the `while let` scrutinee keeps the MutexGuard
+/// alive through the whole loop body, serializing every worker.
+pub fn drain_serialized(queue: &Mutex<VecDeque<u32>>) -> u32 {
+    let mut total = 0;
+    while let Some(item) = queue.lock().unwrap().pop_front() {
+        total += item;
+    }
+    total
+}
+
+/// A named guard held across a loop body.
+pub fn held_across_loop(queue: &Mutex<VecDeque<u32>>) -> u32 {
+    let mut total = 0;
+    let mut guard = queue.lock().unwrap();
+    for _ in 0..4 {
+        total += guard.pop_front().unwrap_or(0);
+    }
+    total
+}

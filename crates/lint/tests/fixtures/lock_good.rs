@@ -1,0 +1,28 @@
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The fixed shape: pop in its own statement, so the guard drops before the
+/// body runs.
+pub fn drain_concurrent(queue: &Mutex<VecDeque<u32>>) -> u32 {
+    let mut total = 0;
+    loop {
+        // sf-lint: allow(panic) -- poisoned only if a sibling worker panicked
+        let next = queue.lock().expect("queue").pop_front();
+        let Some(item) = next else { break };
+        total += item;
+    }
+    total
+}
+
+/// A named guard explicitly dropped before the loop.
+pub fn drop_before_loop(queue: &Mutex<VecDeque<u32>>) -> u32 {
+    // sf-lint: allow(panic) -- poisoned only if a sibling worker panicked
+    let mut guard = queue.lock().unwrap();
+    let first = guard.pop_front().unwrap_or(0);
+    drop(guard);
+    let mut total = first;
+    for _ in 0..4 {
+        total += 1;
+    }
+    total
+}

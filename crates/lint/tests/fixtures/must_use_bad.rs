@@ -1,0 +1,15 @@
+pub struct Config {
+    pub threads: usize,
+}
+
+impl Config {
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+pub enum StreamVerdict {
+    Accept,
+    Reject,
+}

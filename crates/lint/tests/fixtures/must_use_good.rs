@@ -1,0 +1,24 @@
+pub struct Config {
+    pub threads: usize,
+}
+
+impl Config {
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    // Not a builder: no return value, so the rule does not apply.
+    pub fn with_side_effect(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+}
+
+#[must_use]
+#[derive(Debug, Clone, Copy)]
+pub enum StreamVerdict {
+    Accept,
+    Reject,
+}

@@ -1,0 +1,13 @@
+pub fn broken(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("has two");
+    first + second
+}
+
+pub fn unfinished() {
+    todo!("later")
+}
+
+pub fn crash() {
+    panic!("boom")
+}

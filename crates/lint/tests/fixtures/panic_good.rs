@@ -1,0 +1,15 @@
+pub fn fine(v: &[u32]) -> Option<u32> {
+    let first = v.first()?;
+    // sf-lint: allow(panic) -- length checked by the caller contract
+    let second = v.get(1).expect("has two");
+    Some(first + second)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

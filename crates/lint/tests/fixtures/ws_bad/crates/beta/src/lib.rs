@@ -1,0 +1,11 @@
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The PR 3 lock-across-loop regression, verbatim shape.
+pub fn drain(queue: &Mutex<VecDeque<u32>>) -> u32 {
+    let mut total = 0;
+    while let Some(item) = queue.lock().unwrap().pop_front() {
+        total += item;
+    }
+    total
+}

@@ -1,0 +1,25 @@
+pub mod telemetry;
+
+pub struct Config {
+    pub threads: usize,
+}
+
+impl Config {
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+pub fn sum(row: &mut [f32], q: f32) -> f32 {
+    // sf-lint: hot-path
+    let mut acc = 0.0;
+    for r in row.iter_mut() {
+        *r += q;
+        acc += *r;
+    }
+    // sf-lint: end-hot-path
+    acc
+}

@@ -1,0 +1,2 @@
+/// Counter: widgets processed.
+pub const ALPHA_WIDGETS: &str = "alpha.widgets";

@@ -27,6 +27,7 @@ pub fn summary(values: &[f64]) -> Summary {
         return Summary::default();
     }
     let mut sorted: Vec<f64> = values.to_vec();
+    // sf-lint: allow(panic) -- callers feed measured (finite) latencies and costs
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     let n = sorted.len();
     let mean = sorted.iter().sum::<f64>() / n as f64;

@@ -65,6 +65,7 @@ impl RocCurve {
             a.matrix
                 .f1()
                 .partial_cmp(&b.matrix.f1())
+                // sf-lint: allow(panic) -- F1 of finite rates is finite
                 .expect("finite f1")
         })
     }
@@ -102,6 +103,7 @@ pub fn roc_curve(samples: &[ScoredSample]) -> RocCurve {
         return RocCurve::default();
     }
     let mut thresholds: Vec<f64> = samples.iter().map(|s| s.score).collect();
+    // sf-lint: allow(panic) -- classifier scores are finite alignment costs
     thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
     thresholds.dedup();
     let lowest = thresholds.first().copied().unwrap_or(0.0) - 1.0;

@@ -183,6 +183,7 @@ impl RuntimeModel {
 
     /// Estimated runtime with Read Until at the given classifier operating
     /// point.
+    #[must_use]
     pub fn with_read_until(&self, classifier: ClassifierPoint) -> RuntimeEstimate {
         self.estimate(Some(classifier))
     }

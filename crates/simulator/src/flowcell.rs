@@ -299,6 +299,7 @@ impl FlowCellSimulator {
         let mut final_active = 0usize;
 
         let mut wash_times = cfg.wash_times_s.clone();
+        // sf-lint: allow(panic) -- wash times are user-supplied finite seconds
         wash_times.sort_by(|a, b| a.partial_cmp(b).expect("finite wash times"));
 
         for _ in 0..cfg.channels {
@@ -370,6 +371,7 @@ impl FlowCellSimulator {
                         }
                     }
                     Some(ReadUntilPolicy::Classifier(p)) => {
+                        // sf-lint: allow(panic) -- built above whenever the policy is Classifier
                         let sim = signal_sim.as_mut().expect("classifier signal simulator");
                         let outcome =
                             drive_classifier(p, sim, &mut rng, is_target, read_length, cfg);

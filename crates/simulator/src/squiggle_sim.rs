@@ -113,6 +113,7 @@ impl SquiggleSimulator {
     }
 
     /// Overrides the ADC calibration.
+    #[must_use]
     pub fn with_adc(mut self, adc: AdcModel) -> Self {
         self.adc = adc;
         self

@@ -459,6 +459,7 @@ impl<T: Into<f64> + Copy> CalibratingFeed<T> {
             }
             let z = self
                 .params
+                // sf-lint: allow(panic) -- the calibration gate above sets params before emitting
                 .expect("feed only runs after calibration")
                 .apply(sample.into() as f32, clip);
             if self.recalibration_reachable {

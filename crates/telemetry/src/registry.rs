@@ -37,9 +37,11 @@ fn register<T>(
     wrap: impl Fn(&'static T) -> Handle,
     unwrap: impl Fn(&Handle) -> Option<&'static T>,
 ) -> &'static T {
+    // sf-lint: allow(panic) -- poisoned only if a registration panicked mid-insert
     let mut entries = entries().lock().expect("telemetry registry");
     if let Some((_, handle)) = entries.iter().find(|(n, _)| *n == name) {
         return unwrap(handle)
+            // sf-lint: allow(panic) -- kind mismatch is a programming error worth failing fast on
             .unwrap_or_else(|| panic!("telemetry metric {name:?} re-registered as another kind"));
     }
     let metric: &'static T = Box::leak(Box::new(make()));
@@ -184,6 +186,7 @@ impl Snapshot {
 pub fn snapshot() -> Snapshot {
     #[cfg(feature = "enabled")]
     {
+        // sf-lint: allow(panic) -- poisoned only if a registration panicked mid-insert
         let entries = entries().lock().expect("telemetry registry");
         let mut metrics: Vec<SnapshotEntry> = entries
             .iter()
@@ -196,6 +199,7 @@ pub fn snapshot() -> Snapshot {
                 },
             })
             .collect();
+        drop(entries);
         metrics.sort_by(|a, b| a.name.cmp(&b.name));
         Snapshot {
             enabled: true,
