@@ -23,8 +23,8 @@ use sf_hw::perf::AcceleratorModel;
 use sf_metrics::ConfusionMatrix;
 use sf_pore_model::{KmerModel, ReferenceSquiggle};
 use sf_sdtw::{
-    calibrate_threshold, BatchClassifier, BatchConfig, FilterConfig, MultiStageConfig,
-    MultiStageFilter, SdtwConfig, Stage, StreamClassification,
+    calibrate_threshold, BatchClassifier, BatchConfig, FilterConfig, KernelBackend,
+    MultiStageConfig, MultiStageFilter, SdtwConfig, Stage, StreamClassification,
 };
 use sf_sim::flowcell::{FlowCellConfig, FlowCellSimulator, ReadUntilPolicy};
 use sf_sim::{Dataset, DatasetBuilder};
@@ -41,6 +41,17 @@ struct SweepPoint {
     reads_per_s: f64,
     speedup: f64,
     confusion: ConfusionMatrix,
+    /// DP cells evaluated during the timed pass (0 with telemetry disabled).
+    dp_cells: u64,
+    /// `dp_cells / seconds` (0 with telemetry disabled).
+    cells_per_s: f64,
+}
+
+/// One single-thread timed pass with the row-update backend pinned.
+struct BackendPoint {
+    backend: &'static str,
+    seconds: f64,
+    reads_per_s: f64,
     /// DP cells evaluated during the timed pass (0 with telemetry disabled).
     dp_cells: u64,
     /// `dp_cells / seconds` (0 with telemetry disabled).
@@ -280,6 +291,54 @@ fn main() {
         );
     }
 
+    // Scalar-vs-vector single-thread comparison: the same staged filter with
+    // the row-update backend pinned each way. The sweep above runs the Auto
+    // default (which resolves to the vector backend when reference deletions
+    // are off), so this pass is what isolates the kernel redesign's speedup
+    // and feeds the per-backend `cells_per_s` CI trend.
+    let mut backend_points: Vec<BackendPoint> = Vec::new();
+    for (name, backend) in [
+        ("scalar", KernelBackend::Scalar),
+        ("vector", KernelBackend::Vector),
+    ] {
+        let mut config = staged_config.clone();
+        config.sdtw = config.sdtw.with_backend(backend);
+        let backend_filter = MultiStageFilter::new(&reference, config);
+        let batch = BatchClassifier::new(backend_filter, BatchConfig::with_threads(1));
+        batch.classify_batch(&squiggles[..squiggles.len().min(8)]);
+        let tel_before = sf_telemetry::snapshot();
+        let start = Instant::now();
+        let _ = batch.classify_labelled(&squiggles, &labels);
+        let seconds = start.elapsed().as_secs_f64();
+        let dp_cells =
+            sf_telemetry::snapshot().counter_delta(&tel_before, sf_sdtw::telemetry::SDTW_DP_CELLS);
+        backend_points.push(BackendPoint {
+            backend: name,
+            seconds,
+            reads_per_s: squiggles.len() as f64 / seconds,
+            dp_cells,
+            cells_per_s: dp_cells as f64 / seconds,
+        });
+    }
+    println!();
+    for p in &backend_points {
+        println!(
+            "backend {:>6}: {:>8.3} s, {:>10.2} reads/s, {:.3e} cells/s (1 thread)",
+            p.backend, p.seconds, p.reads_per_s, p.cells_per_s
+        );
+    }
+    if let [scalar, vector] = backend_points.as_slice() {
+        let cells_ratio = if scalar.dp_cells > 0 {
+            format!(", {:.2}x cells/s", vector.cells_per_s / scalar.cells_per_s)
+        } else {
+            String::new()
+        };
+        println!(
+            "vector speedup vs scalar: {:.2}x reads/s{cells_ratio} (1 thread)",
+            vector.reads_per_s / scalar.reads_per_s,
+        );
+    }
+
     // A small oracle-policy flow-cell run so the `flowcell.*` counters in the
     // telemetry section reflect a live simulation, closing the kernel-to-flow-
     // cell loop this bench reports on.
@@ -320,6 +379,7 @@ fn main() {
         parallelism,
         quick,
         &points,
+        &backend_points,
         &stats,
         frozen_point.as_ref(),
         &telemetry,
@@ -336,6 +396,7 @@ fn render_json(
     parallelism: usize,
     quick: bool,
     points: &[SweepPoint],
+    backend_points: &[BackendPoint],
     stats: &DecisionStats,
     frozen_point: Option<&sf_sdtw::OperatingPoint>,
     telemetry: &Snapshot,
@@ -406,6 +467,37 @@ fn render_json(
             p.confusion.false_positive_rate(),
             p.dp_cells,
             p.cells_per_s,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    // Per-backend single-thread points: the scalar oracle vs the vectorized
+    // row update, same dataset and staged config as the sweep.
+    let scalar_reads_per_s = backend_points
+        .iter()
+        .find(|p| p.backend == "scalar")
+        .map_or(0.0, |p| p.reads_per_s);
+    let _ = writeln!(json, "  \"backends\": [");
+    for (i, p) in backend_points.iter().enumerate() {
+        let comma = if i + 1 < backend_points.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{ \"backend\": \"{}\", \"threads\": 1, \"seconds\": {:.6}, \
+             \"reads_per_s\": {:.3}, \"dp_cells\": {}, \"cells_per_s\": {:.0}, \
+             \"speedup_vs_scalar\": {:.3} }}{comma}",
+            p.backend,
+            p.seconds,
+            p.reads_per_s,
+            p.dp_cells,
+            p.cells_per_s,
+            if scalar_reads_per_s > 0.0 {
+                p.reads_per_s / scalar_reads_per_s
+            } else {
+                0.0
+            },
         );
     }
     let _ = writeln!(json, "  ],");
@@ -489,9 +581,11 @@ fn render_telemetry(json: &mut String, snap: &Snapshot, points: &[SweepPoint]) {
     let software_cells_per_s = points.iter().map(|p| p.cells_per_s).fold(0.0f64, f64::max);
     let _ = writeln!(
         json,
-        "    \"dp\": {{ \"cells\": {}, \"rows\": {}, \"software_cells_per_s\": {:.0} }},",
+        "    \"dp\": {{ \"cells\": {}, \"rows\": {}, \"band_cells_skipped\": {}, \
+         \"software_cells_per_s\": {:.0} }},",
         counter(sf_sdtw::telemetry::SDTW_DP_CELLS),
         counter(sf_sdtw::telemetry::SDTW_DP_ROWS),
+        counter(sf_sdtw::telemetry::SDTW_BAND_CELLS_SKIPPED),
         software_cells_per_s,
     );
     let _ = writeln!(

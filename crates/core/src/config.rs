@@ -81,6 +81,73 @@ impl MatchBonus {
     }
 }
 
+/// Which DP cells of each row are evaluated.
+///
+/// The classic Sakoe–Chiba band constrains `|i - j| <= radius` around the
+/// main diagonal, which is vacuous for *subsequence* DTW: an alignment may
+/// start at any reference position, so every column of every row is
+/// potentially on some path. The adaptation used here re-centers the band
+/// every row on the previous row's best (minimum-cost) column — the DP mass
+/// that decides the verdict concentrates around the best alignment's path,
+/// and columns far from it only ever contribute costs far above the row
+/// minimum. Row 0 is always evaluated in full (it enumerates the candidate
+/// alignment starts); out-of-band cells hold a sentinel cost and can never
+/// win a row minimum.
+///
+/// Banding changes which cells are computed, so banded costs are not
+/// bit-identical to [`Band::Full`] costs — the workspace treats banding as a
+/// *verdict-level* approximation (pinned by the banded verdict-parity tests),
+/// while [`Band::Full`] remains bit-exact with the unbanded kernels.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum Band {
+    /// Evaluate every cell of every row — the paper's configuration (the
+    /// systolic array has one PE per reference position, so full rows cost it
+    /// nothing extra).
+    #[default]
+    Full,
+    /// Evaluate only the `2 * radius + 1` columns centered on the previous
+    /// row's minimum-cost column (clipped to the reference bounds).
+    SakoeChiba {
+        /// Band half-width, in reference positions. A radius of at least the
+        /// reference length reproduces [`Band::Full`] cell-for-cell.
+        radius: usize,
+    },
+}
+
+impl Band {
+    /// `true` for [`Band::SakoeChiba`].
+    pub fn is_banded(self) -> bool {
+        matches!(self, Band::SakoeChiba { .. })
+    }
+}
+
+/// Which row-update implementation the kernels run.
+///
+/// Both backends implement the identical recurrence and are bit-exact with
+/// each other (pinned by the scalar-vs-vector parity suite); the scalar
+/// backend is the reference oracle, the vector backend processes the row in
+/// autovectorization-friendly chunked passes. The vector row update requires
+/// the no-reference-deletion recurrence (removing the `S[i][j-1]` input is
+/// what removes the loop-carried dependency — the same property that lets
+/// the paper's systolic array evaluate a whole row per cycle), so configs
+/// that allow reference deletions always run the scalar backend.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum KernelBackend {
+    /// The branchy one-cell-at-a-time reference implementation.
+    Scalar,
+    /// Chunked, branchless row update. Falls back to [`KernelBackend::Scalar`]
+    /// when the config allows reference deletions.
+    Vector,
+    /// Pick automatically: [`KernelBackend::Vector`] whenever the recurrence
+    /// permits it, [`KernelBackend::Scalar`] otherwise.
+    #[default]
+    Auto,
+}
+
 /// Full kernel configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct SdtwConfig {
@@ -92,6 +159,10 @@ pub struct SdtwConfig {
     pub allow_reference_deletion: bool,
     /// Optional match bonus.
     pub match_bonus: Option<MatchBonus>,
+    /// Which DP cells of each row are evaluated.
+    pub band: Band,
+    /// Row-update implementation selector.
+    pub backend: KernelBackend,
 }
 
 impl SdtwConfig {
@@ -102,6 +173,8 @@ impl SdtwConfig {
             distance: DistanceMetric::Squared,
             allow_reference_deletion: true,
             match_bonus: None,
+            band: Band::Full,
+            backend: KernelBackend::Auto,
         }
     }
 
@@ -113,6 +186,8 @@ impl SdtwConfig {
             distance: DistanceMetric::Absolute,
             allow_reference_deletion: false,
             match_bonus: Some(MatchBonus::default()),
+            band: Band::Full,
+            backend: KernelBackend::Auto,
         }
     }
 
@@ -144,6 +219,38 @@ impl SdtwConfig {
     pub fn with_match_bonus(mut self, bonus: Option<MatchBonus>) -> Self {
         self.match_bonus = bonus;
         self
+    }
+
+    /// Sets the band (which DP cells of each row are evaluated).
+    #[must_use]
+    pub fn with_band(mut self, band: Band) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// Sets the row-update backend selector.
+    #[must_use]
+    pub fn with_backend(mut self, backend: KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend a kernel built from this config actually runs: never
+    /// [`KernelBackend::Auto`], and never [`KernelBackend::Vector`] when
+    /// reference deletions are allowed (the `S[i][j-1]` input is a
+    /// loop-carried dependency the vector row update cannot honor, so those
+    /// configs fall back to the scalar oracle).
+    pub fn resolved_backend(&self) -> KernelBackend {
+        match self.backend {
+            KernelBackend::Scalar => KernelBackend::Scalar,
+            KernelBackend::Vector | KernelBackend::Auto => {
+                if self.allow_reference_deletion {
+                    KernelBackend::Scalar
+                } else {
+                    KernelBackend::Vector
+                }
+            }
+        }
     }
 
     /// Upper bound on how much the best (minimum) alignment cost over the DP
@@ -242,6 +349,47 @@ mod tests {
         assert_eq!(config.distance, DistanceMetric::Absolute);
         assert!(!config.allow_reference_deletion);
         assert_eq!(config.match_bonus.unwrap().bonus_for_dwell(9), 20);
+    }
+
+    #[test]
+    fn backend_resolution_respects_the_deletion_dependency() {
+        // Auto picks vector exactly when the recurrence has no loop-carried
+        // dependency; explicit Vector falls back to Scalar when it does.
+        assert_eq!(
+            SdtwConfig::hardware().resolved_backend(),
+            KernelBackend::Vector
+        );
+        assert_eq!(
+            SdtwConfig::vanilla().resolved_backend(),
+            KernelBackend::Scalar
+        );
+        assert_eq!(
+            SdtwConfig::vanilla()
+                .with_backend(KernelBackend::Vector)
+                .resolved_backend(),
+            KernelBackend::Scalar
+        );
+        assert_eq!(
+            SdtwConfig::hardware()
+                .with_backend(KernelBackend::Scalar)
+                .resolved_backend(),
+            KernelBackend::Scalar
+        );
+        assert_eq!(
+            SdtwConfig::vanilla()
+                .with_reference_deletions(false)
+                .resolved_backend(),
+            KernelBackend::Vector
+        );
+    }
+
+    #[test]
+    fn band_defaults_and_builder() {
+        assert_eq!(SdtwConfig::hardware().band, Band::Full);
+        assert!(!Band::Full.is_banded());
+        let banded = SdtwConfig::hardware().with_band(Band::SakoeChiba { radius: 100 });
+        assert!(banded.band.is_banded());
+        assert_eq!(banded.band, Band::SakoeChiba { radius: 100 });
     }
 
     #[test]

@@ -15,13 +15,12 @@ use crate::classifier::{
     CalibratingFeed, ClassifierSession, Decision, ReadClassifier, StreamClassification,
 };
 use crate::config::SdtwConfig;
-use crate::kernel_float::{FloatSdtw, FloatSdtwStream};
-use crate::kernel_int::{IntSdtw, IntSdtwStream};
+use crate::kernel::{FloatSdtw, IntSdtw, SdtwKernel, SdtwStream};
 use crate::result::SdtwResult;
 use crate::telemetry::{metrics, ChunkSpan, SessionStats};
 use sf_genome::Sequence;
 use sf_pore_model::{KmerModel, ReferenceSquiggle};
-use sf_squiggle::normalize::{quantize, Normalizer, NormalizerConfig};
+use sf_squiggle::normalize::{Normalizer, NormalizerConfig};
 use sf_squiggle::RawSquiggle;
 use sf_telemetry::Stopwatch;
 
@@ -171,8 +170,7 @@ impl Default for FilterConfig {
 pub struct SquiggleFilter {
     config: FilterConfig,
     normalizer: Normalizer,
-    int_kernel: Option<IntSdtw>,
-    float_kernel: Option<FloatSdtw>,
+    kernel: Box<dyn SdtwKernel>,
     reference_samples: usize,
 }
 
@@ -181,24 +179,19 @@ impl SquiggleFilter {
     pub fn new(reference: &ReferenceSquiggle, config: FilterConfig) -> Self {
         let normalizer = Normalizer::new(config.normalizer);
         let reference_samples = reference.total_samples();
-        let (int_kernel, float_kernel) = match config.precision {
-            FilterPrecision::Int8 => (
-                Some(IntSdtw::new(
-                    config.sdtw,
-                    reference.concatenated_quantized(),
-                )),
-                None,
-            ),
-            FilterPrecision::Float32 => (
-                None,
-                Some(FloatSdtw::new(config.sdtw, reference.concatenated())),
-            ),
+        let kernel: Box<dyn SdtwKernel> = match config.precision {
+            FilterPrecision::Int8 => Box::new(IntSdtw::new(
+                config.sdtw,
+                reference.concatenated_quantized(),
+            )),
+            FilterPrecision::Float32 => {
+                Box::new(FloatSdtw::new(config.sdtw, reference.concatenated()))
+            }
         };
         SquiggleFilter {
             config,
             normalizer,
-            int_kernel,
-            float_kernel,
+            kernel,
             reference_samples,
         }
     }
@@ -223,29 +216,17 @@ impl SquiggleFilter {
 
     /// Scores a read prefix: normalizes, quantizes (if configured) and runs
     /// sDTW. Returns `None` when the squiggle is empty.
+    ///
+    /// The kernel quantizes per normalized sample when the precision is
+    /// [`FilterPrecision::Int8`], which is bit-identical to quantizing the
+    /// whole normalized prefix up front.
     pub fn score(&self, squiggle: &RawSquiggle) -> Option<SdtwResult> {
         let prefix = squiggle.prefix(self.config.prefix_samples);
         if prefix.is_empty() {
             return None;
         }
-        match self.config.precision {
-            FilterPrecision::Int8 => {
-                let query = self.normalizer.normalize_raw_quantized(prefix.samples());
-                self.int_kernel
-                    .as_ref()
-                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
-                    .expect("int kernel present")
-                    .align(&query)
-            }
-            FilterPrecision::Float32 => {
-                let query = self.normalizer.normalize_raw(prefix.samples());
-                self.float_kernel
-                    .as_ref()
-                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
-                    .expect("float kernel present")
-                    .align(&query)
-            }
-        }
+        let query = self.normalizer.normalize_raw(prefix.samples());
+        self.kernel.align_normalized(&query)
     }
 
     /// Scores an already-normalized query (used by the ablation benches that
@@ -255,22 +236,7 @@ impl SquiggleFilter {
             return None;
         }
         let query = &query[..query.len().min(self.config.prefix_samples)];
-        match self.config.precision {
-            FilterPrecision::Int8 => {
-                let quantized: Vec<i8> = query.iter().copied().map(quantize).collect();
-                self.int_kernel
-                    .as_ref()
-                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
-                    .expect("int kernel present")
-                    .align(&quantized)
-            }
-            FilterPrecision::Float32 => self
-                .float_kernel
-                .as_ref()
-                // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
-                .expect("float kernel present")
-                .align(query),
-        }
+        self.kernel.align_normalized(query)
     }
 
     /// Classifies a read: [`FilterVerdict::Accept`] when the alignment cost is
@@ -312,27 +278,11 @@ impl SquiggleFilter {
     /// [`ReadClassifier::start_read`], exposed for callers that want to avoid
     /// the boxed trait object).
     pub fn session(&self) -> SquiggleFilterSession<'_> {
-        let kernel = match self.config.precision {
-            FilterPrecision::Int8 => SessionKernel::Int(
-                self.int_kernel
-                    .as_ref()
-                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
-                    .expect("int kernel present")
-                    .stream(),
-            ),
-            FilterPrecision::Float32 => SessionKernel::Float(
-                self.float_kernel
-                    .as_ref()
-                    // sf-lint: allow(panic) -- the constructor builds the kernel matching config.precision
-                    .expect("float kernel present")
-                    .stream(),
-            ),
-        };
         let interval = self.config.early_exit_interval;
         SquiggleFilterSession {
             filter: self,
             feed: CalibratingFeed::new(self.config.normalizer, self.config.prefix_samples),
-            kernel,
+            kernel: self.kernel.start(),
             decision: Decision::Wait,
             decided_early: false,
             result: None,
@@ -350,38 +300,6 @@ impl ReadClassifier for SquiggleFilter {
 
     fn max_decision_samples(&self) -> usize {
         self.config.prefix_samples
-    }
-}
-
-/// The DP stream of an in-progress session, matching the filter's precision.
-#[derive(Debug, Clone)]
-enum SessionKernel<'a> {
-    Int(IntSdtwStream<'a>),
-    Float(FloatSdtwStream<'a>),
-}
-
-impl SessionKernel<'_> {
-    fn samples(&self) -> usize {
-        match self {
-            SessionKernel::Int(s) => s.samples_processed(),
-            SessionKernel::Float(s) => s.samples_processed(),
-        }
-    }
-
-    fn best(&self) -> Option<SdtwResult> {
-        match self {
-            SessionKernel::Int(s) => s.best(),
-            SessionKernel::Float(s) => s.best(),
-        }
-    }
-
-    fn push(&mut self, normalized: f32) {
-        // sf-lint: hot-path
-        match self {
-            SessionKernel::Int(s) => s.push(quantize(normalized)),
-            SessionKernel::Float(s) => s.push(normalized),
-        }
-        // sf-lint: end-hot-path
     }
 }
 
@@ -405,11 +323,11 @@ impl SessionKernel<'_> {
 /// ejection latency matters — the rolling re-estimation recovers the
 /// accuracy a short *frozen* window would lose, and the one-shot path uses
 /// the same schedule, so parity is preserved (see `docs/streaming.md`).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SquiggleFilterSession<'a> {
     filter: &'a SquiggleFilter,
     feed: CalibratingFeed,
-    kernel: SessionKernel<'a>,
+    kernel: Box<dyn SdtwStream + 'a>,
     decision: Decision,
     decided_early: bool,
     /// Alignment state captured at decision time.
@@ -428,15 +346,15 @@ pub struct SquiggleFilterSession<'a> {
 /// pushes one normalized sample and returns `true` once a decision is final.
 fn advance(
     config: &FilterConfig,
-    kernel: &mut SessionKernel<'_>,
+    kernel: &mut dyn SdtwStream,
     decision: &mut Decision,
     result: &mut Option<SdtwResult>,
     next_check: &mut usize,
     stats: &mut SessionStats,
     z: f32,
 ) -> bool {
-    kernel.push(z);
-    let n = kernel.samples();
+    kernel.push_normalized(z);
+    let n = kernel.samples_processed();
     if n == config.prefix_samples {
         let sw = Stopwatch::start();
         // sf-lint: allow(panic) -- best() is Some once any sample has been pushed
@@ -473,7 +391,7 @@ impl SquiggleFilterSession<'_> {
     /// Records when a just-made mid-stream decision became available and
     /// whether it beat the sample budget.
     fn record_decision_point(&mut self, early_possible: bool) {
-        let at = self.feed.decision_point(self.kernel.samples());
+        let at = self.feed.decision_point(self.kernel.samples_processed());
         self.decided_at = Some(at);
         self.decided_early = early_possible
             && self.decision == Decision::Reject
@@ -500,13 +418,28 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             ..
         } = self;
         let config = filter.config;
-        let span = ChunkSpan::begin(kernel.samples(), feed.estimate_ns(), stats);
+        let span = ChunkSpan::begin(
+            kernel.samples_processed(),
+            kernel.cells_evaluated(),
+            kernel.band_cells_skipped(),
+            feed.estimate_ns(),
+            stats,
+        );
         feed.push(chunk, &mut |z| {
-            advance(&config, kernel, decision, result, next_check, stats, z)
+            advance(
+                &config,
+                kernel.as_mut(),
+                decision,
+                result,
+                next_check,
+                stats,
+                z,
+            )
         });
         span.finish(
-            filter.reference_samples,
-            kernel.samples(),
+            kernel.samples_processed(),
+            kernel.cells_evaluated(),
+            kernel.band_cells_skipped(),
             feed.estimate_ns(),
             stats,
         );
@@ -531,7 +464,6 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             // on what we have (which can itself reach a decision — but one
             // that saved nothing, the read is already over).
             let Self {
-                filter,
                 feed,
                 kernel,
                 decision,
@@ -540,11 +472,28 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
                 stats,
                 ..
             } = self;
-            let span = ChunkSpan::begin(kernel.samples(), feed.estimate_ns(), stats);
-            feed.flush(&mut |z| advance(&config, kernel, decision, result, next_check, stats, z));
+            let span = ChunkSpan::begin(
+                kernel.samples_processed(),
+                kernel.cells_evaluated(),
+                kernel.band_cells_skipped(),
+                feed.estimate_ns(),
+                stats,
+            );
+            feed.flush(&mut |z| {
+                advance(
+                    &config,
+                    kernel.as_mut(),
+                    decision,
+                    result,
+                    next_check,
+                    stats,
+                    z,
+                )
+            });
             span.finish(
-                filter.reference_samples,
-                kernel.samples(),
+                kernel.samples_processed(),
+                kernel.cells_evaluated(),
+                kernel.band_cells_skipped(),
                 feed.estimate_ns(),
                 stats,
             );

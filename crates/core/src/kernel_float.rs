@@ -9,200 +9,17 @@
 //! the current DP row is kept (`O(M)` memory for an `N × M` problem), which is
 //! also how the accelerator operates and what makes multi-stage filtering
 //! resumable without recomputation.
+//!
+//! Since the kernel unification, [`FloatSdtw`] is an alias for the generic
+//! engine in [`crate::kernel`] instantiated with [`crate::kernel::FloatLane`];
+//! this module keeps the float-domain test suite.
 
-use crate::config::SdtwConfig;
-use crate::result::SdtwResult;
-
-/// A reusable subsequence-DTW aligner over a fixed reference signal.
-///
-/// # Examples
-///
-/// ```
-/// use sf_sdtw::{FloatSdtw, SdtwConfig};
-///
-/// // Reference with a distinctive bump in the middle.
-/// let reference: Vec<f32> = (0..100).map(|i| if (40..60).contains(&i) { 2.0 } else { 0.0 }).collect();
-/// let query = vec![2.0f32; 20];
-/// let aligner = FloatSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
-/// let result = aligner.align(&query).unwrap();
-/// assert_eq!(result.cost, 0.0);
-/// assert!(result.start_position >= 40 && result.end_position < 60);
-/// ```
-#[derive(Debug, Clone)]
-pub struct FloatSdtw {
-    config: SdtwConfig,
-    reference: Vec<f32>,
-}
-
-impl FloatSdtw {
-    /// Creates an aligner for the given reference signal.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the reference is empty.
-    pub fn new(config: SdtwConfig, reference: Vec<f32>) -> Self {
-        assert!(!reference.is_empty(), "reference signal must not be empty");
-        FloatSdtw { config, reference }
-    }
-
-    /// The kernel configuration.
-    pub fn config(&self) -> &SdtwConfig {
-        &self.config
-    }
-
-    /// The reference signal.
-    pub fn reference(&self) -> &[f32] {
-        &self.reference
-    }
-
-    /// Aligns a complete query and returns the best subsequence alignment, or
-    /// `None` for an empty query.
-    pub fn align(&self, query: &[f32]) -> Option<SdtwResult> {
-        let mut stream = self.stream();
-        stream.extend(query);
-        stream.best()
-    }
-
-    /// Starts a streaming alignment (used for multi-stage filtering).
-    pub fn stream(&self) -> FloatSdtwStream<'_> {
-        FloatSdtwStream {
-            engine: self,
-            row: vec![0.0; self.reference.len()],
-            dwell: vec![0; self.reference.len()],
-            starts: vec![0; self.reference.len()],
-            scratch_row: vec![0.0; self.reference.len()],
-            scratch_dwell: vec![0; self.reference.len()],
-            scratch_starts: vec![0; self.reference.len()],
-            samples: 0,
-        }
-    }
-
-    /// Total number of DP cells evaluated for a query of `query_len` samples
-    /// (used by the operation-count comparisons of §4.8).
-    pub fn cell_count(&self, query_len: usize) -> u64 {
-        query_len as u64 * self.reference.len() as u64
-    }
-}
-
-/// In-progress streaming alignment state: one DP row plus per-column dwell
-/// counters and alignment-start bookkeeping.
-#[derive(Debug, Clone)]
-pub struct FloatSdtwStream<'a> {
-    engine: &'a FloatSdtw,
-    row: Vec<f32>,
-    dwell: Vec<u32>,
-    starts: Vec<usize>,
-    scratch_row: Vec<f32>,
-    scratch_dwell: Vec<u32>,
-    scratch_starts: Vec<usize>,
-    samples: usize,
-}
-
-impl FloatSdtwStream<'_> {
-    /// Number of query samples processed so far.
-    pub fn samples_processed(&self) -> usize {
-        self.samples
-    }
-
-    /// Pushes a batch of query samples.
-    pub fn extend(&mut self, samples: &[f32]) {
-        for &q in samples {
-            self.push(q);
-        }
-        // One-shot callers reach the kernel through extend; streaming
-        // sessions push per sample and account rows themselves, so the two
-        // counting paths never overlap.
-        let m = crate::telemetry::metrics();
-        m.dp_rows.add(samples.len() as u64);
-        m.dp_cells
-            .add(samples.len() as u64 * self.engine.reference.len() as u64);
-    }
-
-    /// Pushes a single query sample, updating the DP row.
-    pub fn push(&mut self, q: f32) {
-        // sf-lint: hot-path
-        let config = &self.engine.config;
-        let reference = &self.engine.reference;
-        let m = reference.len();
-        if self.samples == 0 {
-            for j in 0..m {
-                self.row[j] = config.distance.eval_f32(q, reference[j]);
-                self.dwell[j] = 1;
-                self.starts[j] = j;
-            }
-            self.samples = 1;
-            return;
-        }
-        let bonus = config.match_bonus;
-        for j in 0..m {
-            let d = config.distance.eval_f32(q, reference[j]);
-            // Vertical: same reference base consumes another query sample.
-            let mut best = self.row[j];
-            let mut best_dwell = self.dwell[j] + 1;
-            let mut best_start = self.starts[j];
-            if j > 0 {
-                // Diagonal: advance to a new reference base.
-                let mut diag = self.row[j - 1];
-                if let Some(b) = bonus {
-                    diag -= b.bonus_for_dwell(self.dwell[j - 1]) as f32;
-                }
-                if diag < best {
-                    best = diag;
-                    best_dwell = 1;
-                    best_start = self.starts[j - 1];
-                }
-                // Reference deletion: same query sample spans another base.
-                if config.allow_reference_deletion {
-                    let left = self.scratch_row[j - 1];
-                    if left < best {
-                        best = left;
-                        best_dwell = 1;
-                        best_start = self.scratch_starts[j - 1];
-                    }
-                }
-            }
-            self.scratch_row[j] = best + d;
-            self.scratch_dwell[j] = best_dwell;
-            self.scratch_starts[j] = best_start;
-        }
-        std::mem::swap(&mut self.row, &mut self.scratch_row);
-        std::mem::swap(&mut self.dwell, &mut self.scratch_dwell);
-        std::mem::swap(&mut self.starts, &mut self.scratch_starts);
-        self.samples += 1;
-        // sf-lint: end-hot-path
-    }
-
-    /// The best subsequence alignment of everything pushed so far, or `None`
-    /// if no samples have been pushed.
-    pub fn best(&self) -> Option<SdtwResult> {
-        if self.samples == 0 {
-            return None;
-        }
-        let (end, &cost) = self
-            .row
-            .iter()
-            .enumerate()
-            // sf-lint: allow(panic) -- the DP recurrence only produces finite costs
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("costs are finite"))?;
-        Some(SdtwResult {
-            cost: cost as f64,
-            start_position: self.starts[end],
-            end_position: end,
-            query_samples: self.samples,
-        })
-    }
-
-    /// The current DP row (alignment cost ending at each reference position).
-    /// Exposed for the hardware model's equivalence checks.
-    pub fn row(&self) -> &[f32] {
-        &self.row
-    }
-}
+pub use crate::kernel::{FloatSdtw, FloatSdtwStream};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::DistanceMetric;
+    use crate::config::{DistanceMetric, SdtwConfig};
 
     /// Builds a pseudo-random, non-repeating reference signal, and a query
     /// that repeats a slice of it (simulating multiple samples per base).

@@ -6,219 +6,17 @@
 //! and costs accumulate in 32-bit integers. The hardware model in `sf-hw`
 //! executes the same recurrence cycle-by-cycle and is checked cell-for-cell
 //! against this implementation.
+//!
+//! Since the kernel unification, [`IntSdtw`] is an alias for the generic
+//! engine in [`crate::kernel`] instantiated with [`crate::kernel::IntLane`];
+//! this module keeps the integer-domain test suite.
 
-use crate::config::SdtwConfig;
-use crate::result::SdtwResult;
-
-/// Integer subsequence-DTW aligner over a fixed quantized reference signal.
-///
-/// # Examples
-///
-/// ```
-/// use sf_sdtw::{IntSdtw, SdtwConfig};
-///
-/// let reference: Vec<i8> = (0..100).map(|i| if (30..50).contains(&i) { 80 } else { -40 }).collect();
-/// let query = vec![80i8; 15];
-/// let aligner = IntSdtw::new(SdtwConfig::hardware_without_bonus(), reference);
-/// let result = aligner.align(&query).unwrap();
-/// assert_eq!(result.cost, 0.0);
-/// assert!(result.start_position >= 30 && result.end_position < 50);
-/// ```
-#[derive(Debug, Clone)]
-pub struct IntSdtw {
-    config: SdtwConfig,
-    reference: Vec<i8>,
-}
-
-impl IntSdtw {
-    /// Creates an aligner for the given quantized reference signal.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the reference is empty.
-    pub fn new(config: SdtwConfig, reference: Vec<i8>) -> Self {
-        assert!(!reference.is_empty(), "reference signal must not be empty");
-        IntSdtw { config, reference }
-    }
-
-    /// The kernel configuration.
-    pub fn config(&self) -> &SdtwConfig {
-        &self.config
-    }
-
-    /// The quantized reference signal.
-    pub fn reference(&self) -> &[i8] {
-        &self.reference
-    }
-
-    /// Aligns a complete quantized query, or returns `None` for an empty
-    /// query.
-    pub fn align(&self, query: &[i8]) -> Option<SdtwResult> {
-        let mut stream = self.stream();
-        stream.extend(query);
-        stream.best()
-    }
-
-    /// Starts a streaming alignment.
-    pub fn stream(&self) -> IntSdtwStream<'_> {
-        IntSdtwStream {
-            engine: self,
-            row: vec![0; self.reference.len()],
-            dwell: vec![0; self.reference.len()],
-            starts: vec![0; self.reference.len()],
-            scratch_row: vec![0; self.reference.len()],
-            scratch_dwell: vec![0; self.reference.len()],
-            scratch_starts: vec![0; self.reference.len()],
-            samples: 0,
-        }
-    }
-
-    /// Total number of DP cells evaluated for a query of `query_len` samples.
-    pub fn cell_count(&self, query_len: usize) -> u64 {
-        query_len as u64 * self.reference.len() as u64
-    }
-}
-
-/// Streaming state of an in-progress integer alignment (one DP row).
-///
-/// The row can be inspected and restored, which is how both multi-stage
-/// filtering (paper §4.6) and the accelerator's DRAM spill of intermediate
-/// costs (paper §5.1) are modelled.
-#[derive(Debug, Clone)]
-pub struct IntSdtwStream<'a> {
-    engine: &'a IntSdtw,
-    row: Vec<i32>,
-    dwell: Vec<u32>,
-    starts: Vec<usize>,
-    scratch_row: Vec<i32>,
-    scratch_dwell: Vec<u32>,
-    scratch_starts: Vec<usize>,
-    samples: usize,
-}
-
-impl IntSdtwStream<'_> {
-    /// Number of query samples processed so far.
-    pub fn samples_processed(&self) -> usize {
-        self.samples
-    }
-
-    /// Pushes a batch of query samples.
-    pub fn extend(&mut self, samples: &[i8]) {
-        for &q in samples {
-            self.push(q);
-        }
-        // One-shot callers (align, multi-stage classify) reach the kernel
-        // through extend; streaming sessions push per sample and account
-        // rows themselves, so the two counting paths never overlap.
-        let m = crate::telemetry::metrics();
-        m.dp_rows.add(samples.len() as u64);
-        m.dp_cells
-            .add(samples.len() as u64 * self.engine.reference.len() as u64);
-    }
-
-    /// Pushes a single query sample, updating the DP row.
-    pub fn push(&mut self, q: i8) {
-        // sf-lint: hot-path
-        let config = &self.engine.config;
-        let reference = &self.engine.reference;
-        let m = reference.len();
-        if self.samples == 0 {
-            for j in 0..m {
-                self.row[j] = config.distance.eval_i8(q, reference[j]);
-                self.dwell[j] = 1;
-                self.starts[j] = j;
-            }
-            self.samples = 1;
-            return;
-        }
-        let bonus = config.match_bonus;
-        for j in 0..m {
-            let d = config.distance.eval_i8(q, reference[j]);
-            let mut best = self.row[j];
-            let mut best_dwell = self.dwell[j] + 1;
-            let mut best_start = self.starts[j];
-            if j > 0 {
-                let mut diag = self.row[j - 1];
-                if let Some(b) = bonus {
-                    diag -= b.bonus_for_dwell(self.dwell[j - 1]) as i32;
-                }
-                if diag < best {
-                    best = diag;
-                    best_dwell = 1;
-                    best_start = self.starts[j - 1];
-                }
-                if config.allow_reference_deletion {
-                    let left = self.scratch_row[j - 1];
-                    if left < best {
-                        best = left;
-                        best_dwell = 1;
-                        best_start = self.scratch_starts[j - 1];
-                    }
-                }
-            }
-            self.scratch_row[j] = best.saturating_add(d);
-            self.scratch_dwell[j] = best_dwell;
-            self.scratch_starts[j] = best_start;
-        }
-        std::mem::swap(&mut self.row, &mut self.scratch_row);
-        std::mem::swap(&mut self.dwell, &mut self.scratch_dwell);
-        std::mem::swap(&mut self.starts, &mut self.scratch_starts);
-        self.samples += 1;
-        // sf-lint: end-hot-path
-    }
-
-    /// The best subsequence alignment of everything pushed so far, or `None`
-    /// if no samples have been pushed.
-    pub fn best(&self) -> Option<SdtwResult> {
-        if self.samples == 0 {
-            return None;
-        }
-        let (end, &cost) = self.row.iter().enumerate().min_by_key(|(_, &c)| c)?;
-        Some(SdtwResult {
-            cost: cost as f64,
-            start_position: self.starts[end],
-            end_position: end,
-            query_samples: self.samples,
-        })
-    }
-
-    /// The current DP row. The accelerator spills exactly this row to DRAM
-    /// between multi-stage filtering stages.
-    pub fn row(&self) -> &[i32] {
-        &self.row
-    }
-
-    /// Restores a previously saved DP row (plus dwell counters), modelling a
-    /// multi-stage resume from DRAM.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the slices do not match the reference length.
-    pub fn restore(&mut self, row: &[i32], dwell: &[u32], starts: &[usize], samples: usize) {
-        assert_eq!(row.len(), self.row.len(), "row length mismatch");
-        assert_eq!(dwell.len(), self.dwell.len(), "dwell length mismatch");
-        assert_eq!(starts.len(), self.starts.len(), "starts length mismatch");
-        self.row.copy_from_slice(row);
-        self.dwell.copy_from_slice(dwell);
-        self.starts.copy_from_slice(starts);
-        self.samples = samples;
-    }
-
-    /// The per-column dwell counters (samples aligned to each reference
-    /// position in the best path ending there).
-    pub fn dwell(&self) -> &[u32] {
-        &self.dwell
-    }
-
-    /// The per-column alignment start positions.
-    pub fn starts(&self) -> &[usize] {
-        &self.starts
-    }
-}
+pub use crate::kernel::{IntSdtw, IntSdtwStream};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SdtwConfig;
     use crate::kernel_float::FloatSdtw;
 
     fn reference_signal() -> Vec<i8> {

@@ -9,9 +9,13 @@
 //!
 //! * [`config`] — the sDTW variants: distance metric, reference-deletion
 //!   removal and match bonus (paper §4.7), each an independent toggle for the
-//!   Figure 18 ablation.
-//! * [`kernel_float`] / [`kernel_int`] — streaming subsequence-DTW kernels in
-//!   floating point and in the accelerator's 8-bit fixed-point domain.
+//!   Figure 18 ablation; plus the [`Band`] window and the [`KernelBackend`]
+//!   row-update selector.
+//! * [`kernel`] — the unified streaming subsequence-DTW engine: one generic
+//!   implementation behind the [`SdtwKernel`] / [`SdtwStream`] traits, with
+//!   scalar and vectorized backends and optional Sakoe–Chiba banding.
+//! * [`kernel_float`] / [`kernel_int`] — the floating-point and 8-bit
+//!   fixed-point instantiations ([`FloatSdtw`] / [`IntSdtw`]).
 //! * [`classifier`] — the streaming [`ReadClassifier`] API: per-read
 //!   sessions making chunk-wise Accept/Reject/Wait [`Decision`]s, the
 //!   interface every classifier and every consumer in the workspace speaks.
@@ -58,6 +62,7 @@ pub mod batch;
 pub mod classifier;
 pub mod config;
 pub mod filter;
+pub mod kernel;
 pub mod kernel_float;
 pub mod kernel_int;
 pub mod multistage;
@@ -67,13 +72,15 @@ pub mod threshold;
 
 pub use batch::{BatchClassifier, BatchConfig, BatchReport};
 pub use classifier::{ClassifierSession, Decision, ReadClassifier, StreamClassification};
-pub use config::{DistanceMetric, MatchBonus, SdtwConfig};
+pub use config::{Band, DistanceMetric, KernelBackend, MatchBonus, SdtwConfig};
 pub use filter::{
     Classification, FilterConfig, FilterPrecision, FilterVerdict, SquiggleFilter,
     SquiggleFilterSession,
 };
-pub use kernel_float::{FloatSdtw, FloatSdtwStream};
-pub use kernel_int::{IntSdtw, IntSdtwStream};
+pub use kernel::{
+    FloatLane, FloatSdtw, FloatSdtwStream, IntLane, IntSdtw, IntSdtwStream, KernelStream, Sdtw,
+    SdtwKernel, SdtwLane, SdtwStream,
+};
 pub use multistage::{
     MultiStageConfig, MultiStageFilter, MultiStageSession, Stage, StagedClassification,
 };

@@ -14,7 +14,7 @@ use crate::classifier::{
 };
 use crate::config::SdtwConfig;
 use crate::filter::FilterVerdict;
-use crate::kernel_int::{IntSdtw, IntSdtwStream};
+use crate::kernel::{IntSdtw, SdtwKernel, SdtwStream};
 use crate::result::SdtwResult;
 use crate::telemetry::{metrics, ChunkSpan, SessionStats};
 use sf_pore_model::ReferenceSquiggle;
@@ -114,7 +114,7 @@ impl MultiStageConfig {
 #[derive(Debug, Clone)]
 pub struct MultiStageFilter {
     config: MultiStageConfig,
-    kernel: IntSdtw,
+    kernel: Box<dyn SdtwKernel>,
     normalizer: Normalizer,
     reference_samples: usize,
 }
@@ -127,7 +127,10 @@ impl MultiStageFilter {
     /// Panics if the stage list is empty or not strictly increasing.
     pub fn new(reference: &ReferenceSquiggle, config: MultiStageConfig) -> Self {
         config.validate();
-        let kernel = IntSdtw::new(config.sdtw, reference.concatenated_quantized());
+        let kernel: Box<dyn SdtwKernel> = Box::new(IntSdtw::new(
+            config.sdtw,
+            reference.concatenated_quantized(),
+        ));
         let normalizer = Normalizer::new(config.normalizer);
         MultiStageFilter {
             reference_samples: reference.total_samples(),
@@ -170,14 +173,16 @@ impl MultiStageFilter {
         // which is what keeps the two paths bit-identical.
         let max_prefix = self.config.stages[last_stage].prefix_samples;
         let prefix = squiggle.prefix(max_prefix);
-        let query = self.normalizer.normalize_raw_quantized(prefix.samples());
+        // The kernel quantizes per normalized sample, bit-identical to the
+        // old quantize-the-whole-prefix path.
+        let query = self.normalizer.normalize_raw(prefix.samples());
 
-        let mut stream = self.kernel.stream();
+        let mut stream = self.kernel.start();
         let mut consumed = 0usize;
         for (index, stage) in self.config.stages.iter().enumerate() {
             let until = stage.prefix_samples.min(query.len());
             if until > consumed {
-                stream.extend(&query[consumed..until]);
+                stream.extend_normalized(&query[consumed..until]);
                 consumed = until;
             }
             // sf-lint: allow(panic) -- every stage extends the stream before deciding
@@ -211,7 +216,7 @@ impl MultiStageFilter {
         MultiStageSession {
             filter: self,
             feed: CalibratingFeed::new(self.config.normalizer, self.max_decision_samples()),
-            stream: self.kernel.stream(),
+            stream: self.kernel.start(),
             stage: 0,
             decision: Decision::Wait,
             decided_early: false,
@@ -254,11 +259,11 @@ impl ReadClassifier for MultiStageFilter {
 /// than the first stage's prefix when streaming ejection latency matters;
 /// rolling re-estimation keeps later stages accurate despite the short
 /// initial window.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MultiStageSession<'a> {
     filter: &'a MultiStageFilter,
     feed: CalibratingFeed,
-    stream: IntSdtwStream<'a>,
+    stream: Box<dyn SdtwStream + 'a>,
     /// Index of the next stage to evaluate.
     stage: usize,
     decision: Decision,
@@ -277,16 +282,16 @@ pub struct MultiStageSession<'a> {
 /// a decision is final.
 fn advance(
     stages: &[Stage],
-    stream: &mut IntSdtwStream<'_>,
+    stream: &mut dyn SdtwStream,
     stage: &mut usize,
     decision: &mut Decision,
     result: &mut Option<SdtwResult>,
     stats: &mut SessionStats,
     z: f32,
 ) -> bool {
-    // The shared per-sample formula (then `quantize`) keeps streaming
-    // bit-identical to `classify`.
-    stream.push(sf_squiggle::normalize::quantize(z));
+    // The shared per-sample formula (the kernel quantizes internally) keeps
+    // streaming bit-identical to `classify`.
+    stream.push_normalized(z);
     let n = stream.samples_processed();
     if n == stages[*stage].prefix_samples {
         let sw = Stopwatch::start();
@@ -345,13 +350,20 @@ impl ClassifierSession for MultiStageSession<'_> {
             ..
         } = self;
         let stages = &filter.config.stages;
-        let span = ChunkSpan::begin(stream.samples_processed(), feed.estimate_ns(), stats);
+        let span = ChunkSpan::begin(
+            stream.samples_processed(),
+            stream.cells_evaluated(),
+            stream.band_cells_skipped(),
+            feed.estimate_ns(),
+            stats,
+        );
         feed.push(chunk, &mut |z| {
-            advance(stages, stream, stage, decision, result, stats, z)
+            advance(stages, stream.as_mut(), stage, decision, result, stats, z)
         });
         span.finish(
-            filter.reference_samples,
             stream.samples_processed(),
+            stream.cells_evaluated(),
+            stream.band_cells_skipped(),
             feed.estimate_ns(),
             stats,
         );
@@ -385,11 +397,20 @@ impl ClassifierSession for MultiStageSession<'_> {
                 ..
             } = self;
             let stages = &filter.config.stages;
-            let span = ChunkSpan::begin(stream.samples_processed(), feed.estimate_ns(), stats);
-            feed.flush(&mut |z| advance(stages, stream, stage, decision, result, stats, z));
-            span.finish(
-                filter.reference_samples,
+            let span = ChunkSpan::begin(
                 stream.samples_processed(),
+                stream.cells_evaluated(),
+                stream.band_cells_skipped(),
+                feed.estimate_ns(),
+                stats,
+            );
+            feed.flush(&mut |z| {
+                advance(stages, stream.as_mut(), stage, decision, result, stats, z)
+            });
+            span.finish(
+                stream.samples_processed(),
+                stream.cells_evaluated(),
+                stream.band_cells_skipped(),
                 feed.estimate_ns(),
                 stats,
             );

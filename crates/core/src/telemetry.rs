@@ -7,7 +7,9 @@
 //! registry once per chunk via a `ChunkSpan`, so the hot path stays free of clock
 //! reads and the flush itself is a handful of relaxed atomic adds.
 
-use sf_telemetry::{register_counter, register_histogram, Counter, Histogram, Stopwatch};
+use sf_telemetry::{
+    register_counter, register_gauge, register_histogram, Counter, Gauge, Histogram, Stopwatch,
+};
 use std::sync::OnceLock;
 
 /// Histogram: wall-clock nanoseconds per [`ClassifierSession::push_chunk`]
@@ -15,10 +17,18 @@ use std::sync::OnceLock;
 ///
 /// [`ClassifierSession::push_chunk`]: crate::ClassifierSession::push_chunk
 pub const SDTW_CHUNK_PUSH_NS: &str = "sdtw.chunk_push_ns";
-/// Counter: DP cells evaluated (rows × reference samples), all kernels.
+/// Counter: DP cells actually evaluated (in-band cells only; under
+/// `Band::Full` this is rows × reference samples), all kernels.
 pub const SDTW_DP_CELLS: &str = "sdtw.dp_cells";
 /// Counter: DP rows processed (one row per query sample).
 pub const SDTW_DP_ROWS: &str = "sdtw.dp_rows";
+/// Counter: DP cells skipped by Sakoe–Chiba banding (0 under `Band::Full`).
+/// `dp_cells + band_cells_skipped` = rows × reference samples.
+pub const SDTW_BAND_CELLS_SKIPPED: &str = "sdtw.band_cells_skipped";
+/// Gauge: resolved row-update backend of the most recently constructed
+/// kernel (0 = scalar, 1 = vector). Set once per kernel construction, never
+/// from the hot path.
+pub const SDTW_KERNEL_BACKEND: &str = "sdtw.kernel_backend";
 /// Counter: nanoseconds of session chunk time attributed to the DP phase
 /// (chunk wall-clock minus normalize-estimation and decision-scan time).
 pub const SDTW_STAGE_DP_NS: &str = "sdtw.stage.dp_ns";
@@ -45,6 +55,8 @@ pub(crate) struct Metrics {
     pub chunk_push_ns: &'static Histogram,
     pub dp_cells: &'static Counter,
     pub dp_rows: &'static Counter,
+    pub band_cells_skipped: &'static Counter,
+    pub kernel_backend: &'static Gauge,
     pub dp_ns: &'static Counter,
     pub decision_ns: &'static Counter,
     pub early_rejects: &'static Counter,
@@ -61,6 +73,8 @@ pub(crate) fn metrics() -> &'static Metrics {
         chunk_push_ns: register_histogram(SDTW_CHUNK_PUSH_NS),
         dp_cells: register_counter(SDTW_DP_CELLS),
         dp_rows: register_counter(SDTW_DP_ROWS),
+        band_cells_skipped: register_counter(SDTW_BAND_CELLS_SKIPPED),
+        kernel_backend: register_gauge(SDTW_KERNEL_BACKEND),
         dp_ns: register_counter(SDTW_STAGE_DP_NS),
         decision_ns: register_counter(SDTW_STAGE_DECISION_NS),
         early_rejects: register_counter(SDTW_EARLY_REJECTS),
@@ -89,42 +103,55 @@ pub(crate) struct SessionStats {
 pub(crate) struct ChunkSpan {
     sw: Stopwatch,
     rows_before: usize,
+    cells_before: u64,
+    skipped_before: u64,
     estimate_ns_before: u64,
     decision_ns_before: u64,
 }
 
 impl ChunkSpan {
-    /// Opens a span. `rows` is the kernel's processed-sample count,
+    /// Opens a span. `rows` is the kernel's processed-sample count, `cells`
+    /// and `skipped` the stream's evaluated/band-skipped cell counts,
     /// `estimate_ns` the feed's cumulative estimation time, and `stats`
     /// the session's accumulators — all *before* the chunk runs.
-    pub fn begin(rows: usize, estimate_ns: u64, stats: &SessionStats) -> Self {
+    pub fn begin(
+        rows: usize,
+        cells: u64,
+        skipped: u64,
+        estimate_ns: u64,
+        stats: &SessionStats,
+    ) -> Self {
         ChunkSpan {
             sw: Stopwatch::start(),
             rows_before: rows,
+            cells_before: cells,
+            skipped_before: skipped,
             estimate_ns_before: estimate_ns,
             decision_ns_before: stats.decision_ns,
         }
     }
 
     /// Closes the span: records chunk latency and flushes DP-row/cell and
-    /// phase-time deltas. `reference_samples` converts rows to cells. The
-    /// DP share is what remains of the chunk's wall-clock after the
+    /// phase-time deltas. Cell counts come straight from the stream, so
+    /// banded sessions report only the cells they evaluated. The DP share
+    /// is what remains of the chunk's wall-clock after the
     /// normalize-estimation and decision-scan deltas are subtracted (the
     /// per-sample normalize transform is a few ops against an O(reference)
     /// DP row, so lumping it with DP skews nothing measurable).
     pub fn finish(
         self,
-        reference_samples: usize,
         rows: usize,
+        cells: u64,
+        skipped: u64,
         estimate_ns: u64,
         stats: &SessionStats,
     ) {
         let elapsed = self.sw.elapsed_ns();
         let m = metrics();
         m.chunk_push_ns.record(elapsed);
-        let row_delta = (rows - self.rows_before) as u64;
-        m.dp_rows.add(row_delta);
-        m.dp_cells.add(row_delta * reference_samples as u64);
+        m.dp_rows.add((rows - self.rows_before) as u64);
+        m.dp_cells.add(cells - self.cells_before);
+        m.band_cells_skipped.add(skipped - self.skipped_before);
         let estimate_delta = estimate_ns - self.estimate_ns_before;
         let decision_delta = stats.decision_ns - self.decision_ns_before;
         m.decision_ns.add(decision_delta);

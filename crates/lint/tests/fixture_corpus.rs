@@ -77,6 +77,31 @@ fn hot_path_good_is_clean() {
 }
 
 #[test]
+fn vector_loop_bad_catches_per_row_mask_and_lane_allocation() {
+    // The chunked vector-row shape: a per-row heap-allocated take mask and a
+    // lane copy are exactly the allocations the fence must reject.
+    let findings = lint_fixture("vector_loop_bad.rs");
+    assert_eq!(locations(&findings, RULE_HOT_PATH), vec![8, 12]);
+    assert!(
+        findings[0].message.contains("vec!"),
+        "{}",
+        findings[0].message
+    );
+    assert!(
+        findings[1].message.contains(".to_vec()"),
+        "{}",
+        findings[1].message
+    );
+}
+
+#[test]
+fn vector_loop_good_is_clean() {
+    // Stack take mask + pre-sliced lane windows + counters flushed outside
+    // the fence: the shape the core kernel's vector_row uses.
+    assert_eq!(lint_fixture("vector_loop_good.rs"), Vec::new());
+}
+
+#[test]
 fn must_use_bad_catches_builder_and_verdict_enum() {
     let findings = lint_fixture("must_use_bad.rs");
     assert_eq!(locations(&findings, RULE_MUST_USE), vec![6, 12]);

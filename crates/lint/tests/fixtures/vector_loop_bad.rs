@@ -1,0 +1,16 @@
+const CHUNK: usize = 64;
+
+pub fn vector_row(row: &[i32], out: &mut [i32]) {
+    // sf-lint: hot-path
+    let mut j = 0;
+    while j < row.len() {
+        let end = (j + CHUNK).min(row.len());
+        let take = vec![false; end - j];
+        for i in j..end {
+            out[i] = if take[i - j] { row[i] } else { row[i] + 1 };
+        }
+        let _lanes = row[j..end].to_vec();
+        j = end;
+    }
+    // sf-lint: end-hot-path
+}

@@ -1,0 +1,24 @@
+const CHUNK: usize = 64;
+
+pub fn vector_row(row: &[i32], out: &mut [i32]) -> u64 {
+    let mut cells = 0u64;
+    // sf-lint: hot-path
+    let mut take = [false; CHUNK];
+    let mut j = 0;
+    while j < row.len() {
+        let end = (j + CHUNK).min(row.len());
+        let n = end - j;
+        let take = &mut take[..n];
+        let lanes = &row[j..end];
+        let out = &mut out[j..end];
+        for i in 0..n {
+            take[i] = lanes[i] < 0;
+            out[i] = if take[i] { lanes[i] } else { lanes[i] + 1 };
+        }
+        cells += n as u64;
+        j = end;
+    }
+    // sf-lint: end-hot-path
+    // Counter deltas flush once per row batch, outside the fenced region.
+    cells
+}

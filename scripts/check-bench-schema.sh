@@ -3,7 +3,9 @@
 #
 #   1. the telemetry-enabled run carries the full "telemetry" section
 #      (stage time split, chunk-latency quantiles, DP cell totals, event
-#      counters, software-vs-ASIC ratio) with "enabled": true,
+#      counters, software-vs-ASIC ratio) with "enabled": true, plus the
+#      per-backend single-thread "backends" points (scalar and vector, each
+#      with a positive cells_per_s),
 #   2. the --no-default-features run reports "enabled": false (a regression
 #      here means cargo feature unification silently re-enabled telemetry),
 #   3. accuracy/TPR/FPR are identical across the two modes — telemetry is
@@ -50,7 +52,7 @@ for section, keys in {
     "stage_ns": ["normalize", "dp", "decision"],
     "chunk_latency_ns": ["count", "p50", "p95", "p99", "max"],
     "queue_wait_ns": ["count", "p50", "p95", "p99", "max"],
-    "dp": ["cells", "rows", "software_cells_per_s"],
+    "dp": ["cells", "rows", "band_cells_skipped", "software_cells_per_s"],
     "counts": [
         "early_rejects",
         "stage_escalations",
@@ -73,6 +75,27 @@ if tel.get("dp", {}).get("cells", 0) <= 0:
     broken(f"{enabled_path}: telemetry.dp.cells is not positive")
 if tel.get("chunk_latency_ns", {}).get("count", 0) <= 0:
     broken(f"{enabled_path}: telemetry.chunk_latency_ns.count is not positive")
+
+# 1b. Per-backend single-thread points: both kernel backends must be
+# measured, with the per-backend throughput keys the CI trend tracks. The
+# cells_per_s rate needs telemetry, so it is only required positive in the
+# enabled run.
+backends = enabled.get("backends")
+if not isinstance(backends, list):
+    broken(f"{enabled_path}: no backends section")
+    backends = []
+names = [b.get("backend") for b in backends]
+if names != ["scalar", "vector"]:
+    broken(f"{enabled_path}: backends are {names}, expected ['scalar', 'vector']")
+for b in backends:
+    for key in ("backend", "threads", "seconds", "reads_per_s", "dp_cells",
+                "cells_per_s", "speedup_vs_scalar"):
+        if key not in b:
+            broken(f"{enabled_path}: backends[{b.get('backend')}].{key} missing")
+    if b.get("threads") != 1:
+        broken(f"{enabled_path}: backends[{b.get('backend')}] is not single-thread")
+    if b.get("cells_per_s", 0) <= 0:
+        broken(f"{enabled_path}: backends[{b.get('backend')}].cells_per_s is not positive")
 
 # 2. The disabled build really is disabled.
 if disabled.get("telemetry", {}).get("enabled") is not False:

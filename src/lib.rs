@@ -79,9 +79,9 @@ pub mod prelude {
     pub use sf_pore_model::{KmerModel, ReferenceSquiggle};
     pub use sf_readuntil::{ClassifierPoint, RuntimeModel, SequencingParams};
     pub use sf_sdtw::{
-        BatchClassifier, BatchConfig, BatchReport, ClassifierSession, Decision, FilterConfig,
-        FilterVerdict, MultiStageConfig, MultiStageFilter, ReadClassifier, SdtwConfig,
-        SquiggleFilter, StreamClassification,
+        Band, BatchClassifier, BatchConfig, BatchReport, ClassifierSession, Decision, FilterConfig,
+        FilterVerdict, KernelBackend, MultiStageConfig, MultiStageFilter, ReadClassifier,
+        SdtwConfig, SdtwKernel, SdtwStream, SquiggleFilter, StreamClassification,
     };
     pub use sf_sim::{
         ClassifierPolicy, DatasetBuilder, FlowCellConfig, FlowCellSimulator, RatePolicy,
