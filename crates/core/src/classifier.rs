@@ -65,6 +65,30 @@ impl From<FilterVerdict> for Decision {
     }
 }
 
+/// A point-in-time snapshot of an in-progress session: the current decision
+/// and how many raw samples the session has consumed to reach it.
+///
+/// This is the surface a session-agnostic driver (the `sf-sched` micro-batch
+/// scheduler) needs to steer thousands of `Box<dyn ClassifierSession>`s
+/// generically: after every [`ClassifierSession::advance`] it inspects the
+/// returned state to decide whether the session keeps waiting for signal or
+/// is finalized and evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[must_use]
+pub struct SessionState {
+    /// The session's current three-way decision.
+    pub decision: Decision,
+    /// Raw samples consumed so far (clamped to the classifier's budget).
+    pub samples_consumed: usize,
+}
+
+impl SessionState {
+    /// `true` once the session has committed to Accept or Reject.
+    pub fn is_final(&self) -> bool {
+        self.decision.is_final()
+    }
+}
+
 /// The resolved outcome of a finished streaming session.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 #[must_use]
@@ -136,6 +160,28 @@ pub trait ClassifierSession {
     /// reached) the classifier decides on whatever it has seen, matching the
     /// one-shot path on the same prefix. The session is spent afterwards.
     fn finalize(&mut self) -> StreamClassification;
+
+    /// The current [`SessionState`] without pushing any samples.
+    fn state(&self) -> SessionState {
+        SessionState {
+            decision: self.decision(),
+            samples_consumed: self.samples_consumed(),
+        }
+    }
+
+    /// Feeds `samples` (any coalesced run of pending chunks) and returns the
+    /// resulting [`SessionState`] snapshot. Exactly equivalent to
+    /// [`ClassifierSession::push_chunk`] followed by
+    /// [`ClassifierSession::state`]: chunk-boundary invariance means a driver
+    /// may coalesce any number of per-poll chunks into one `advance` call
+    /// without changing the decision or the sample count it fires at.
+    fn advance(&mut self, samples: &[u16]) -> SessionState {
+        let decision = self.push_chunk(samples);
+        SessionState {
+            decision,
+            samples_consumed: self.samples_consumed(),
+        }
+    }
 }
 
 /// A classifier that makes chunk-wise Accept/Reject/Wait decisions on
@@ -232,5 +278,68 @@ mod tests {
         for verdict in [FilterVerdict::Accept, FilterVerdict::Reject] {
             assert_eq!(Decision::from(verdict).verdict(), Some(verdict));
         }
+    }
+
+    /// Minimal session: rejects once `budget` samples have been seen.
+    struct CountingSession {
+        seen: usize,
+        budget: usize,
+    }
+
+    impl ClassifierSession for CountingSession {
+        fn push_chunk(&mut self, chunk: &[u16]) -> Decision {
+            if !self.decision().is_final() {
+                self.seen = (self.seen + chunk.len()).min(self.budget);
+            }
+            self.decision()
+        }
+
+        fn decision(&self) -> Decision {
+            if self.seen >= self.budget {
+                Decision::Reject
+            } else {
+                Decision::Wait
+            }
+        }
+
+        fn samples_consumed(&self) -> usize {
+            self.seen
+        }
+
+        fn finalize(&mut self) -> StreamClassification {
+            StreamClassification {
+                verdict: FilterVerdict::Reject,
+                score: 0.0,
+                result: None,
+                samples_consumed: self.seen,
+                decided_early: false,
+            }
+        }
+    }
+
+    #[test]
+    fn default_state_and_advance_mirror_push_chunk() {
+        let mut session = CountingSession {
+            seen: 0,
+            budget: 10,
+        };
+        assert_eq!(
+            session.state(),
+            SessionState {
+                decision: Decision::Wait,
+                samples_consumed: 0
+            }
+        );
+        let state = session.advance(&[1, 2, 3, 4]);
+        assert_eq!(state.decision, Decision::Wait);
+        assert_eq!(state.samples_consumed, 4);
+        assert!(!state.is_final());
+        // Coalescing two pending chunks into one advance is the same as two
+        // pushes — the scheduler's licence to micro-batch.
+        let state = session.advance(&[0; 7]);
+        assert_eq!(state.decision, Decision::Reject);
+        assert_eq!(state.samples_consumed, 10);
+        assert!(state.is_final());
+        assert_eq!(session.state(), state);
     }
 }

@@ -71,7 +71,9 @@ pub mod telemetry;
 pub mod threshold;
 
 pub use batch::{BatchClassifier, BatchConfig, BatchReport};
-pub use classifier::{ClassifierSession, Decision, ReadClassifier, StreamClassification};
+pub use classifier::{
+    ClassifierSession, Decision, ReadClassifier, SessionState, StreamClassification,
+};
 pub use config::{Band, DistanceMetric, KernelBackend, MatchBonus, SdtwConfig};
 pub use filter::{
     Classification, FilterConfig, FilterPrecision, FilterVerdict, SquiggleFilter,

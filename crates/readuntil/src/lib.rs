@@ -6,6 +6,9 @@
 //! * [`analysis`] — the compute-breakdown model behind Figure 5, the
 //!   sequencing-throughput growth series of Figure 6 and the scalability
 //!   study of Figure 21.
+//! * [`service`] — the server-shaped Read Until loop: an `sf-sim` arrival
+//!   trace replayed through the `sf-sched` micro-batched scheduler, with
+//!   backpressure and missed-eject-window accounting.
 //!
 //! # Example
 //!
@@ -22,9 +25,11 @@
 
 pub mod analysis;
 pub mod runtime;
+pub mod service;
 
 pub use analysis::{
     compute_breakdown, scalability_curve, throughput_growth, ComputeBreakdown,
     ScalabilityClassifier, ScalabilityPoint, ThroughputPoint,
 };
 pub use runtime::{ClassifierPoint, RuntimeEstimate, RuntimeModel, SequencingParams};
+pub use service::{run_service, ServiceConfig, ServiceReport};

@@ -1,0 +1,399 @@
+//! The Read Until service loop: flow-cell arrivals through the scheduler.
+//!
+//! [`run_service`] is the server-shaped end of the reproduction: it plays an
+//! [`ArrivalTrace`] (the interleaved per-channel chunk stream a MinKNOW Read
+//! Until client sees, from `sf-sim`) into an `sf-sched`
+//! [`SessionScheduler`], closing the loop the trace itself leaves open —
+//! once a read's verdict comes back, the service stops delivering its
+//! remaining chunks:
+//!
+//! * a **reject** that lands while the read is still streaming is a
+//!   successful eject — every chunk not delivered is sequencing time saved
+//!   (`saved_chunks` / `saved_samples`);
+//! * a reject that lands *after* the read's last chunk was already sent is a
+//!   **missed eject window** — the decision came too late to save anything.
+//!   These are counted on the report and on the shared
+//!   `flowcell.missed_eject_windows` counter, so a scheduler that cannot
+//!   keep up with the flow cell shows up exactly like a too-slow classifier
+//!   does in the closed-loop simulator.
+//!
+//! Backpressure is explicit: the ingest queue is bounded
+//! ([`ServiceConfig::ingest_depth`]); when it fills, the service records an
+//! `ingest_stalls` event, drains any pending verdicts (they may obsolete
+//! chunks it was about to send), and then blocks until the scheduler catches
+//! up. Nothing is dropped — a stall only delays delivery, which is what
+//! turns scheduler slowness into missed eject windows.
+//!
+//! [`ArrivalTrace`]: sf_sim::ArrivalTrace
+//! [`SessionScheduler`]: sf_sched::SessionScheduler
+
+use sf_sched::{Arrival, MicroBatchConfig, SchedulerReport, SessionId, SessionOutcome};
+use sf_sdtw::ReadClassifier;
+use sf_sim::ArrivalTrace;
+use sf_telemetry::{register_counter, Counter};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::thread;
+use std::time::Instant;
+
+/// Configuration of the Read Until service loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Micro-batching configuration handed to the [`sf_sched::SessionScheduler`].
+    pub batch: MicroBatchConfig,
+    /// Capacity of the bounded ingest queue between the service loop and the
+    /// scheduler. When full, the service stalls (see `ingest_stalls`).
+    pub ingest_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            batch: MicroBatchConfig::default(),
+            ingest_depth: 1_024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Replaces the scheduler micro-batch configuration.
+    #[must_use]
+    pub fn with_batch(mut self, batch: MicroBatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Replaces the ingest queue depth (clamped to at least 1).
+    #[must_use]
+    pub fn with_ingest_depth(mut self, depth: usize) -> Self {
+        self.ingest_depth = depth.max(1);
+        self
+    }
+}
+
+/// What one service run did: per-read outcomes, eject-window accounting, and
+/// the scheduler's own work report.
+#[derive(Debug, Clone)]
+#[must_use = "the report carries the run's eject accounting"]
+pub struct ServiceReport {
+    /// Reads in the trace (each becomes one classifier session).
+    pub reads: usize,
+    /// Reads the classifier rejected (eject requested).
+    pub ejected: usize,
+    /// Reads the classifier accepted (kept sequencing).
+    pub kept: usize,
+    /// Rejects that arrived after the read's last chunk had already been
+    /// delivered — the eject window was missed and nothing was saved.
+    pub missed_eject_windows: usize,
+    /// Times the ingest queue was full and the service had to stall.
+    pub ingest_stalls: usize,
+    /// Chunks not delivered because their read was already rejected.
+    pub saved_chunks: usize,
+    /// Raw samples not delivered because their read was already rejected —
+    /// the sequencing time Read Until actually recovered.
+    pub saved_samples: u64,
+    /// The scheduler's micro-batching report for the run.
+    pub scheduler: SchedulerReport,
+    /// Wall-clock duration of the replay, seconds.
+    pub wall_s: f64,
+}
+
+impl ServiceReport {
+    /// Fraction of ejected reads whose eject window was missed (0 when
+    /// nothing was ejected).
+    pub fn missed_window_fraction(&self) -> f64 {
+        if self.ejected == 0 {
+            return 0.0;
+        }
+        self.missed_eject_windows as f64 / self.ejected as f64
+    }
+}
+
+/// Per-read bookkeeping while the trace is replayed.
+struct Progress {
+    /// `Some(keep)` once the read's verdict arrived.
+    decided: Vec<Option<bool>>,
+    /// Whether the read's last chunk has already been delivered.
+    sent_last: Vec<bool>,
+    ejected: usize,
+    kept: usize,
+    missed_eject_windows: usize,
+    missed_counter: &'static Counter,
+}
+
+impl Progress {
+    fn new(reads: usize) -> Self {
+        Progress {
+            decided: vec![None; reads],
+            sent_last: vec![false; reads],
+            ejected: 0,
+            kept: 0,
+            missed_eject_windows: 0,
+            // Shared with the closed-loop flow-cell simulator: registration
+            // is idempotent, so both layers increment the same counter.
+            missed_counter: register_counter(sf_sim::telemetry::FLOWCELL_MISSED_EJECT_WINDOWS),
+        }
+    }
+
+    /// Absorbs one scheduler verdict into the per-read state.
+    fn absorb(&mut self, outcome: &SessionOutcome) {
+        let read = outcome.id.0 as usize;
+        let keep = outcome.classification.verdict.is_accept();
+        if let Some(slot) = self.decided.get_mut(read) {
+            *slot = Some(keep);
+        }
+        if keep {
+            self.kept += 1;
+        } else {
+            self.ejected += 1;
+            if self.sent_last.get(read).copied().unwrap_or(false) {
+                self.missed_eject_windows += 1;
+                self.missed_counter.incr();
+            }
+        }
+    }
+
+    fn drain(&mut self, completions: &Receiver<SessionOutcome>) {
+        while let Ok(outcome) = completions.try_recv() {
+            self.absorb(&outcome);
+        }
+    }
+}
+
+/// Replays `trace` through a micro-batched [`sf_sched::SessionScheduler`]
+/// running `classifier`, closing the eject loop as verdicts arrive.
+///
+/// The replay is as-fast-as-possible (no wall-clock pacing): chunk *order*
+/// is the trace's arrival order, and "too slow" manifests as queue depth —
+/// verdicts that would have landed mid-read in real time land after the
+/// read's last chunk when the scheduler lags, which is precisely a missed
+/// eject window.
+///
+/// Per-read verdicts are bit-identical to a sequential
+/// `push_chunk`/`finalize` drive of the same chunks (the scheduler's parity
+/// invariant); only the timing-derived counts (`missed_eject_windows`,
+/// `ingest_stalls`, `saved_*`) depend on scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use sf_readuntil::service::{run_service, ServiceConfig};
+/// use sf_sim::{FlowCellConfig, FlowCellSimulator, TraceConfig};
+/// use sf_sim::SquiggleSimulatorConfig;
+/// use sf_pore_model::KmerModel;
+/// use sf_sdtw::{FilterConfig, ReadClassifier, SquiggleFilter};
+///
+/// let genome = sf_genome::random::random_genome(71, 1_000);
+/// let model = KmerModel::synthetic_r94(0);
+/// let filter = SquiggleFilter::from_genome(&model, &genome, FilterConfig::hardware(f64::MAX));
+///
+/// let config = FlowCellConfig { channels: 4, duration_s: 20.0, ..Default::default() };
+/// let trace = FlowCellSimulator::new(config, 1).arrival_trace(&TraceConfig {
+///     target_genome: genome.clone(),
+///     background_genome: sf_genome::random::human_like_background(72, 10_000),
+///     signal: SquiggleSimulatorConfig::default(),
+///     model_seed: 0,
+///     chunk_samples: 400,
+///     max_decision_samples: filter.max_decision_samples(),
+/// });
+///
+/// let report = run_service(&filter, &trace, &ServiceConfig::default());
+/// assert_eq!(report.reads, trace.reads.len());
+/// assert_eq!(report.ejected + report.kept, report.scheduler.sessions_completed as usize);
+/// ```
+pub fn run_service<C: ReadClassifier + Sync>(
+    classifier: &C,
+    trace: &ArrivalTrace,
+    config: &ServiceConfig,
+) -> ServiceReport {
+    let scheduler = sf_sched::SessionScheduler::new(config.batch);
+    let (ingest_tx, ingest_rx) = mpsc::sync_channel::<Arrival>(config.ingest_depth.max(1));
+    let (done_tx, done_rx) = mpsc::channel::<SessionOutcome>();
+
+    let mut progress = Progress::new(trace.reads.len());
+    let mut ingest_stalls = 0usize;
+    let mut saved_chunks = 0usize;
+    let mut saved_samples = 0u64;
+    let started = Instant::now();
+
+    let scheduler_report = thread::scope(|scope| {
+        let worker = scope.spawn(|| {
+            let completions = done_tx;
+            scheduler.run(classifier, ingest_rx, &completions)
+        });
+
+        for chunk in &trace.chunks {
+            progress.drain(&done_rx);
+            let read = chunk.read;
+            if let Some(keep) = progress.decided[read] {
+                if !keep {
+                    saved_chunks += 1;
+                    saved_samples += (chunk.end - chunk.start) as u64;
+                }
+                continue;
+            }
+            let id = SessionId(read as u64);
+            match ingest_tx.try_send(Arrival::chunk(id, trace.samples(chunk).to_vec())) {
+                Ok(()) => {}
+                Err(TrySendError::Full(back)) => {
+                    // Scheduler can't keep up: record the stall, absorb any
+                    // verdicts that arrived meanwhile (they may make this
+                    // very chunk unnecessary), then wait.
+                    ingest_stalls += 1;
+                    progress.drain(&done_rx);
+                    if progress.decided[read] == Some(false) {
+                        saved_chunks += 1;
+                        saved_samples += (chunk.end - chunk.start) as u64;
+                    } else {
+                        // Blocking send: nothing is dropped, the stall only
+                        // delays delivery.
+                        let _ = ingest_tx.send(back);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+            if chunk.last && progress.decided[read].is_none() {
+                progress.sent_last[read] = true;
+                let _ = ingest_tx.send(Arrival::end(id));
+            }
+        }
+        drop(ingest_tx);
+        // sf-lint: allow(panic) -- scheduler worker propagates no panics of its own
+        worker.join().expect("scheduler thread")
+    });
+    progress.drain(&done_rx);
+
+    ServiceReport {
+        reads: trace.reads.len(),
+        ejected: progress.ejected,
+        kept: progress.kept,
+        missed_eject_windows: progress.missed_eject_windows,
+        ingest_stalls,
+        saved_chunks,
+        saved_samples,
+        scheduler: scheduler_report,
+        wall_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_pore_model::KmerModel;
+    use sf_sdtw::{FilterConfig, SquiggleFilter};
+    use sf_sim::{FlowCellConfig, FlowCellSimulator, SquiggleSimulatorConfig, TraceConfig};
+
+    /// A calibrated filter + matching trace over a small genome pair (same
+    /// recipe as the flow-cell classifier-policy tests).
+    fn calibrated_setup(seed: u64) -> (SquiggleFilter, ArrivalTrace) {
+        use sf_sim::SquiggleSimulator;
+
+        let target_genome = sf_genome::random::random_genome(71, 2_000);
+        let background_genome = sf_genome::random::human_like_background(72, 40_000);
+        let model = KmerModel::synthetic_r94(0);
+        let signal = SquiggleSimulatorConfig::default();
+        let base_config = FilterConfig::hardware(f64::MAX);
+
+        let probe = SquiggleFilter::from_genome(&model, &target_genome, base_config);
+        let mut sim = SquiggleSimulator::new(model.clone(), signal, 7);
+        let target_cost = probe
+            .score(&sim.synthesize(&target_genome.subsequence(300, 1_300)))
+            .expect("target probe")
+            .cost;
+        let background_cost = probe
+            .score(&sim.synthesize(&background_genome.subsequence(0, 1_000)))
+            .expect("background probe")
+            .cost;
+        assert!(target_cost < background_cost);
+        let filter = SquiggleFilter::from_genome(
+            &model,
+            &target_genome,
+            base_config.with_threshold((target_cost + background_cost) / 2.0),
+        );
+
+        let config = FlowCellConfig {
+            channels: 8,
+            duration_s: 60.0,
+            target_fraction: 0.3,
+            mean_read_length: 6_000.0,
+            ..Default::default()
+        };
+        let trace = FlowCellSimulator::new(config, seed).arrival_trace(&TraceConfig {
+            target_genome,
+            background_genome,
+            signal,
+            model_seed: 0,
+            chunk_samples: 400,
+            max_decision_samples: filter.max_decision_samples(),
+        });
+        (filter, trace)
+    }
+
+    #[test]
+    fn service_resolves_every_read_and_ejects_background() {
+        let (filter, trace) = calibrated_setup(21);
+        let report = run_service(&filter, &trace, &ServiceConfig::default());
+        assert_eq!(report.reads, trace.reads.len());
+        assert_eq!(
+            report.ejected + report.kept,
+            report.scheduler.sessions_completed as usize
+        );
+        assert!(report.ejected > 0, "no read was ejected");
+        assert!(report.kept > 0, "every read was ejected");
+        assert!(report.missed_eject_windows <= report.ejected);
+        assert!(report.wall_s > 0.0);
+    }
+
+    #[test]
+    fn verdicts_match_sequential_chunk_drive() {
+        // The parity invariant end to end: per-read keep/eject through the
+        // service equals a sequential push of the same chunk stream.
+        let (filter, trace) = calibrated_setup(22);
+        let report = run_service(&filter, &trace, &ServiceConfig::default());
+
+        let mut sequential_ejects = 0usize;
+        for read in &trace.reads {
+            let available = read.available_samples();
+            let mut session = filter.start_read();
+            for chunk in read.squiggle.samples()[..available].chunks(400) {
+                if session.push_chunk(chunk).is_final() {
+                    break;
+                }
+            }
+            if !session.finalize().verdict.is_accept() {
+                sequential_ejects += 1;
+            }
+        }
+        assert_eq!(report.ejected, sequential_ejects);
+    }
+
+    #[test]
+    fn tiny_ingest_queue_stalls_but_loses_nothing() {
+        let (filter, trace) = calibrated_setup(23);
+        let config = ServiceConfig::default().with_ingest_depth(1);
+        let report = run_service(&filter, &trace, &config);
+        assert_eq!(
+            report.ejected + report.kept,
+            report.scheduler.sessions_completed as usize
+        );
+        assert!(report.ingest_stalls > 0, "depth-1 queue never stalled");
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_report() {
+        let genome = sf_genome::random::random_genome(71, 1_000);
+        let filter = SquiggleFilter::from_genome(
+            &KmerModel::synthetic_r94(0),
+            &genome,
+            FilterConfig::hardware(f64::MAX),
+        );
+        let trace = ArrivalTrace {
+            reads: Vec::new(),
+            chunks: Vec::new(),
+            sample_rate_hz: 4_000.0,
+        };
+        let report = run_service(&filter, &trace, &ServiceConfig::default());
+        assert_eq!(report.reads, 0);
+        assert_eq!(report.ejected + report.kept, 0);
+        assert_eq!(report.scheduler.sessions_opened, 0);
+    }
+}

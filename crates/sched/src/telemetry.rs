@@ -1,0 +1,65 @@
+//! Metric names (and private handles) for the session scheduler.
+//!
+//! Naming follows `docs/observability.md`: everything here is `sched.*`.
+//! The drain loop itself is a hot path (it runs once per micro-batch over
+//! every dirty session) — workers accumulate plain `u64`s inside the fenced
+//! loop and flush them to the registry once per micro-batch, exactly the
+//! discipline the classifier sessions use.
+
+use sf_telemetry::{
+    register_counter, register_gauge, register_histogram, Counter, Gauge, Histogram,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Gauge: sessions currently open across all scheduler workers (opened but
+/// not yet evicted). Updated at staging/drain granularity, never per sample.
+pub const SCHED_SESSIONS_ACTIVE: &str = "sched.sessions_active";
+/// Histogram: sessions advanced per micro-batch drain — the occupancy the
+/// coalescing achieves (1 = degenerate read-at-a-time behaviour).
+pub const SCHED_MICROBATCH_SESSIONS: &str = "sched.microbatch_sessions";
+/// Histogram: nanoseconds an arrival spent in the ingest queue before a
+/// worker staged it (construction of the [`Arrival`] to staging).
+///
+/// [`Arrival`]: crate::Arrival
+pub const SCHED_CHUNK_QUEUE_WAIT_NS: &str = "sched.chunk_queue_wait_ns";
+/// Counter: sessions evicted after emitting their final decision.
+pub const SCHED_EVICTIONS: &str = "sched.evictions";
+
+pub(crate) struct Metrics {
+    pub sessions_active: &'static Gauge,
+    pub microbatch_sessions: &'static Histogram,
+    pub chunk_queue_wait_ns: &'static Histogram,
+    pub evictions: &'static Counter,
+}
+
+/// The crate's registered metric handles (registered once, then lock-free).
+pub(crate) fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| Metrics {
+        sessions_active: register_gauge(SCHED_SESSIONS_ACTIVE),
+        microbatch_sessions: register_histogram(SCHED_MICROBATCH_SESSIONS),
+        chunk_queue_wait_ns: register_histogram(SCHED_CHUNK_QUEUE_WAIT_NS),
+        evictions: register_counter(SCHED_EVICTIONS),
+    })
+}
+
+/// Process-wide open-session count backing the `sched.sessions_active`
+/// gauge. The gauge itself has no read-modify-write API (set/get only), and
+/// several workers open and evict sessions concurrently, so the count lives
+/// in one shared atomic and the gauge is re-set from it after every delta.
+static ACTIVE_SESSIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Records `opened` new sessions and refreshes the active-sessions gauge.
+pub(crate) fn sessions_opened(opened: u64) {
+    let now = ACTIVE_SESSIONS.fetch_add(opened, Ordering::Relaxed) + opened;
+    metrics().sessions_active.set(now);
+}
+
+/// Records `evicted` closed sessions and refreshes the active-sessions gauge.
+pub(crate) fn sessions_evicted(evicted: u64) {
+    let now = ACTIVE_SESSIONS
+        .fetch_sub(evicted, Ordering::Relaxed)
+        .saturating_sub(evicted);
+    metrics().sessions_active.set(now);
+}

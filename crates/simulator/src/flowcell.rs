@@ -271,6 +271,12 @@ impl FlowCellSimulator {
         &self.config
     }
 
+    /// The simulation seed (shared by [`FlowCellSimulator::arrival_trace`]
+    /// so a trace replays the same capture process as `run`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Runs the simulation. `policy` enables Read Until; `None` is the
     /// control arm. `sample_interval_s` controls timeline resolution.
     pub fn run(&self, policy: Option<&ReadUntilPolicy>, sample_interval_s: f64) -> FlowCellRun {

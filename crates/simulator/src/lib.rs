@@ -12,6 +12,8 @@
 //!   the paper's lambda/SARS-CoV-2/human read sets),
 //! * [`flowcell`] — a per-channel flow-cell simulation with Read Until
 //!   ejection, pore blocking and nuclease washes (Figure 20),
+//! * [`arrivals`] — the same capture process replayed as a time-ordered
+//!   trace of interleaved per-channel chunk arrivals (scheduler load),
 //! * [`rand_util`] — the small set of distributions the simulators need,
 //! * [`telemetry`] — metric names for the flow-cell run counters (ejects,
 //!   missed eject windows, channel occupancy).
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrivals;
 pub mod dataset;
 pub mod flowcell;
 pub mod rand_util;
@@ -39,6 +42,7 @@ pub mod read;
 pub mod squiggle_sim;
 pub mod telemetry;
 
+pub use arrivals::{ArrivalTrace, TraceChunk, TraceConfig, TraceRead};
 pub use dataset::{Dataset, DatasetBuilder, LabelledSquiggle};
 pub use flowcell::{
     ClassifierPolicy, FlowCellConfig, FlowCellRun, FlowCellSimulator, RatePolicy, ReadUntilPolicy,

@@ -1,0 +1,133 @@
+//! Server-shaped Read Until: replay a flow cell's interleaved chunk
+//! arrivals through the micro-batched `SessionScheduler` service loop and
+//! watch it eject background reads mid-stream across many channels at once.
+//!
+//! The flow-cell simulator emits a time-ordered `ArrivalTrace` — the same
+//! capture process its closed-loop runs use, flattened into per-channel
+//! 400-sample chunk arrivals. `run_service` feeds that trace through a
+//! bounded ingest queue into the scheduler, which coalesces co-arriving
+//! chunks into micro-batches, drains them through the classifier, and
+//! evicts each session the moment its verdict lands. Rejects that come
+//! back after a read's last chunk already streamed count as missed eject
+//! windows — the same accounting the closed-loop simulator keeps.
+//!
+//! Run with `cargo run --release --example scheduler_demo`.
+
+use squigglefilter::prelude::*;
+use squigglefilter::sim::{SquiggleSimulator, SquiggleSimulatorConfig};
+
+fn main() {
+    // A small target genome in a human-like background, shared pore model.
+    let model = KmerModel::synthetic_r94(0);
+    let target_genome = squigglefilter::genome::random::random_genome(71, 2_000);
+    let background_genome = squigglefilter::genome::random::human_like_background(72, 100_000);
+    let signal = SquiggleSimulatorConfig::default();
+
+    // The paper's hardware configuration, with the keep/eject threshold
+    // calibrated from a handful of noisy probe reads per class at the
+    // best-F1 operating point.
+    let base_config = FilterConfig::hardware(f64::MAX);
+    let probe = SquiggleFilter::from_genome(&model, &target_genome, base_config);
+    let mut sim = SquiggleSimulator::new(model.clone(), signal, 7);
+    let target_costs: Vec<f64> = (0..8)
+        .filter_map(|i| {
+            let read = sim.synthesize(&target_genome.subsequence(i * 125, i * 125 + 1_000));
+            probe.score(&read).map(|s| s.cost)
+        })
+        .collect();
+    let background_costs: Vec<f64> = (0..8)
+        .filter_map(|i| {
+            let read = sim.synthesize(&background_genome.subsequence(i * 9_000, i * 9_000 + 1_000));
+            probe.score(&read).map(|s| s.cost)
+        })
+        .collect();
+    let best = squigglefilter::sdtw::calibrate_threshold(&target_costs, &background_costs)
+        .best_f1()
+        .expect("calibration reads are non-empty");
+    let filter = SquiggleFilter::from_genome(
+        &model,
+        &target_genome,
+        base_config.with_threshold(best.threshold),
+    );
+    println!(
+        "calibrated threshold {:.0} (calibration TPR {:.2}, FPR {:.2})",
+        best.threshold, best.true_positive_rate, best.false_positive_rate
+    );
+
+    // Sixty-four channels, 10% on-target: enough channels that many reads
+    // stream their decision window at the same time, so arrivals interleave
+    // densely and the scheduler's micro-batches fill up.
+    let flowcell = FlowCellConfig {
+        channels: 64,
+        duration_s: 30.0,
+        target_fraction: 0.1,
+        mean_read_length: 6_000.0,
+        ..Default::default()
+    };
+    let channels = flowcell.channels;
+    let trace = FlowCellSimulator::new(flowcell, 42).arrival_trace(&TraceConfig {
+        target_genome,
+        background_genome,
+        signal,
+        model_seed: 0,
+        chunk_samples: 400,
+        // Synthesize three decision budgets of signal per read: reads keep
+        // streaming past their verdict, as a physical pore would, so an
+        // eject visibly saves the chunks that were never sent.
+        max_decision_samples: filter.max_decision_samples() * 3,
+    });
+    println!(
+        "trace: {} reads, {} chunk arrivals over {:.0} simulated seconds on {} channels\n",
+        trace.reads.len(),
+        trace.chunks.len(),
+        trace.duration_s(),
+        channels,
+    );
+
+    // Replay the trace through the scheduler service loop as fast as the
+    // classifier can drain it. Small micro-batches and a shallow ingest
+    // queue keep the feed honest: drains happen often, verdicts flow back
+    // while reads are still streaming, and already-rejected reads stop
+    // being fed — the pore-time saving a live sequencer would see.
+    let config = ServiceConfig::default()
+        .with_batch(MicroBatchConfig::default().with_max_sessions(8))
+        .with_ingest_depth(32);
+    let report = run_service(&filter, &trace, &config);
+
+    let sched = &report.scheduler;
+    println!("service report:");
+    println!("  reads resolved        {:>8}", report.reads);
+    println!("  kept                  {:>8}", report.kept);
+    println!("  ejected               {:>8}", report.ejected);
+    println!(
+        "  missed eject windows  {:>8}  ({:.1}% of ejects)",
+        report.missed_eject_windows,
+        report.missed_window_fraction() * 100.0
+    );
+    println!("  ingest stalls         {:>8}", report.ingest_stalls);
+    println!(
+        "  chunks never sent     {:>8}  ({} samples of pore time saved)",
+        report.saved_chunks, report.saved_samples
+    );
+    println!("scheduler:");
+    println!("  workers               {:>8}", sched.workers);
+    println!("  micro-batches         {:>8}", sched.micro_batches);
+    println!(
+        "  mean batch occupancy  {:>8.1}  sessions per drain",
+        sched.mean_microbatch_sessions()
+    );
+    println!("  late chunks dropped   {:>8}", sched.late_chunks);
+    println!(
+        "  throughput            {:>8.0}  sessions/s ({:.3} s wall)",
+        report.reads as f64 / report.wall_s,
+        report.wall_s
+    );
+
+    // The whole run was instrumented as it went: scheduler occupancy and
+    // queue-wait quantiles under `sched.*`, eviction and missed-window
+    // counters, and the kernel's own DP accounting (build with
+    // `--no-default-features` and the table reports itself disabled).
+    println!();
+    println!("telemetry:");
+    println!("{}", squigglefilter::telemetry::snapshot().to_table());
+}

@@ -18,7 +18,8 @@
 //! | [`basecall`] | `sf-basecall` | HMM basecaller + Guppy GPU performance models |
 //! | [`align`] | `sf-align` | minimizer mapper, FM-index, UNCALLED-style baseline |
 //! | [`variant`] | `sf-variant` | pileup consensus, SNP calling, assembly driver |
-//! | [`readuntil`] | `sf-readuntil` | sequencing-runtime model, breakdown and scalability analyses |
+//! | [`readuntil`] | `sf-readuntil` | sequencing-runtime model, Read Until service loop, analyses |
+//! | [`sched`] | `sf-sched` | cross-read micro-batched session scheduler (server-shaped engine) |
 //! | [`metrics`] | `sf-metrics` | confusion matrices, ROC sweeps, histograms |
 //! | [`telemetry`] | `sf-telemetry` | runtime counters, latency histograms, registry snapshots |
 //!
@@ -63,6 +64,7 @@ pub use sf_hw as hw;
 pub use sf_metrics as metrics;
 pub use sf_pore_model as pore_model;
 pub use sf_readuntil as readuntil;
+pub use sf_sched as sched;
 pub use sf_sdtw as sdtw;
 pub use sf_sim as sim;
 pub use sf_squiggle as squiggle;
@@ -77,15 +79,20 @@ pub mod prelude {
     pub use sf_hw::{AcceleratorModel, Tile, TileConfig};
     pub use sf_metrics::{roc_curve, ConfusionMatrix, ScoredSample};
     pub use sf_pore_model::{KmerModel, ReferenceSquiggle};
-    pub use sf_readuntil::{ClassifierPoint, RuntimeModel, SequencingParams};
+    pub use sf_readuntil::{
+        run_service, ClassifierPoint, RuntimeModel, SequencingParams, ServiceConfig, ServiceReport,
+    };
+    pub use sf_sched::{
+        Arrival, MicroBatchConfig, SchedulerReport, SessionId, SessionOutcome, SessionScheduler,
+    };
     pub use sf_sdtw::{
         Band, BatchClassifier, BatchConfig, BatchReport, ClassifierSession, Decision, FilterConfig,
         FilterVerdict, KernelBackend, MultiStageConfig, MultiStageFilter, ReadClassifier,
-        SdtwConfig, SdtwKernel, SdtwStream, SquiggleFilter, StreamClassification,
+        SdtwConfig, SdtwKernel, SdtwStream, SessionState, SquiggleFilter, StreamClassification,
     };
     pub use sf_sim::{
-        ClassifierPolicy, DatasetBuilder, FlowCellConfig, FlowCellSimulator, RatePolicy,
-        ReadUntilPolicy,
+        ArrivalTrace, ClassifierPolicy, DatasetBuilder, FlowCellConfig, FlowCellSimulator,
+        RatePolicy, ReadUntilPolicy, TraceConfig,
     };
     pub use sf_squiggle::{Normalizer, RawSquiggle};
     pub use sf_variant::{Assembler, AssemblyConfig};
