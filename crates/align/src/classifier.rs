@@ -252,6 +252,7 @@ impl ClassifierSession for MapperSession<'_> {
             result: None,
             samples_consumed: self.buffer.len(),
             decided_early: self.decided_early,
+            target: None,
         }
     }
 }

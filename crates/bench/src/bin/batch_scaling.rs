@@ -30,9 +30,12 @@ use sf_pore_model::{KmerModel, ReferenceSquiggle};
 use sf_sched::{Arrival, MicroBatchConfig, SessionId, SessionScheduler};
 use sf_sdtw::{
     calibrate_threshold, BatchClassifier, BatchConfig, FilterConfig, KernelBackend,
-    MultiStageConfig, MultiStageFilter, SdtwConfig, Stage, StreamClassification,
+    MultiStageConfig, MultiStageFilter, ReadClassifier, SdtwConfig, Stage, StreamClassification,
 };
+use sf_shard::{pan_viral_panel, panel_classifier, panel_prefilter, PanelConfig, PrefilterConfig};
 use sf_sim::flowcell::{FlowCellConfig, FlowCellSimulator, ReadUntilPolicy};
+use sf_sim::read::{ReadOrigin, ReadSimulator, ReadSimulatorConfig};
+use sf_sim::squiggle_sim::{SquiggleSimulator, SquiggleSimulatorConfig};
 use sf_sim::{Dataset, DatasetBuilder};
 use sf_squiggle::{NormalizerConfig, RawSquiggle};
 use sf_telemetry::{HistogramSnapshot, Snapshot};
@@ -163,6 +166,142 @@ fn run_scheduler(
         mean_microbatch_sessions: report.mean_microbatch_sessions(),
         late_chunks: report.late_chunks,
         evictions,
+    }
+}
+
+/// One timed pass of a sharded catalog over the panel read set.
+struct ShardPoint {
+    shards: usize,
+    seconds: f64,
+    reads_per_s: f64,
+    /// DP cells evaluated during the timed pass (0 with telemetry disabled).
+    dp_cells: u64,
+    cells_per_s: f64,
+}
+
+/// The prefilter-on pass over the full catalog: throughput plus the pruning
+/// telemetry that quantifies the sDTW work the minimizer seeding saved.
+struct ShardPrefilterPoint {
+    shards: usize,
+    seconds: f64,
+    reads_per_s: f64,
+    dp_cells: u64,
+    /// `shard.prefilter_evals` delta (0 with telemetry disabled).
+    evals: u64,
+    /// `shard.prefilter_pruned` delta (0 with telemetry disabled).
+    pruned: u64,
+    /// `shard.prefilter_fail_open` delta (0 with telemetry disabled).
+    fail_open: u64,
+    /// `pruned / (reads * shards)` — the fraction of per-read shard work
+    /// skipped before any sDTW ran (0 with telemetry disabled).
+    prune_rate: f64,
+}
+
+/// The `sharding` section: a pan-viral panel (4 catalog viruses + 5 Table 2
+/// strains of the first) classified by sharded catalogs of growing width,
+/// then once more with the minimizer prefilter pruning shards per read.
+struct ShardingSection {
+    targets: usize,
+    genome_bp: usize,
+    reads: usize,
+    sweep: Vec<ShardPoint>,
+    prefilter: ShardPrefilterPoint,
+}
+
+/// Runs the sharded-catalog sweep. Thresholds are pinned at `f64::MAX` so
+/// every read pays the full prefix against every live shard — that makes
+/// `dp_cells` scale exactly with catalog width and turns the prefilter pass
+/// into a direct measurement of pruned work (verdict-level accuracy of the
+/// sharded path is pinned by `tests/panel_accuracy.rs`, not re-measured
+/// here).
+fn run_sharding(model: &KmerModel, quick: bool) -> ShardingSection {
+    let panel_config = PanelConfig {
+        genome_length: if quick { 1_000 } else { 2_000 },
+        ..PanelConfig::default()
+    };
+    let panel = pan_viral_panel(&panel_config);
+    let reads_per_target = if quick { 2 } else { 6 };
+    let background_reads = if quick { 8 } else { 24 };
+
+    let read_config = ReadSimulatorConfig {
+        mean_length: 900.0,
+        length_sigma: 0.3,
+        min_length: 500,
+        max_length: panel_config.genome_length,
+    };
+    let mut squiggler =
+        SquiggleSimulator::new(model.clone(), SquiggleSimulatorConfig::default(), 99);
+    let mut reads: Vec<RawSquiggle> = Vec::new();
+    for (i, target) in panel.iter().enumerate() {
+        let mut sim = ReadSimulator::new(
+            &target.genome,
+            ReadOrigin::Target,
+            read_config,
+            300 + i as u64,
+        );
+        for read in sim.simulate(reads_per_target) {
+            reads.push(squiggler.synthesize_read(&read));
+        }
+    }
+    let bg_genome = sf_genome::random::human_like_background(901, 100_000);
+    let mut bg_sim = ReadSimulator::new(&bg_genome, ReadOrigin::Background, read_config, 902);
+    for read in bg_sim.simulate(background_reads) {
+        reads.push(squiggler.synthesize_read(&read));
+    }
+
+    let filter_config = FilterConfig::hardware(f64::MAX);
+    let mut sweep = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        let catalog = panel_classifier(model, &panel[..shards], filter_config);
+        let tel_before = sf_telemetry::snapshot();
+        let start = Instant::now();
+        for read in &reads {
+            let _ = catalog.classify_stream(read);
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let dp_cells =
+            sf_telemetry::snapshot().counter_delta(&tel_before, sf_sdtw::telemetry::SDTW_DP_CELLS);
+        sweep.push(ShardPoint {
+            shards,
+            seconds,
+            reads_per_s: reads.len() as f64 / seconds,
+            dp_cells,
+            cells_per_s: dp_cells as f64 / seconds,
+        });
+    }
+
+    // Prefilter-on pass over the full catalog, with the preset tuned for the
+    // HMM basecaller's error rate on noisy signal.
+    let catalog = panel_classifier(model, &panel, filter_config).with_prefilter(panel_prefilter(
+        model.clone(),
+        &panel,
+        PrefilterConfig::noisy(),
+    ));
+    let tel_before = sf_telemetry::snapshot();
+    let start = Instant::now();
+    for read in &reads {
+        let _ = catalog.classify_stream(read);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let after = sf_telemetry::snapshot();
+    let pruned = after.counter_delta(&tel_before, sf_shard::telemetry::SHARD_PREFILTER_PRUNED);
+    let prefilter = ShardPrefilterPoint {
+        shards: panel.len(),
+        seconds,
+        reads_per_s: reads.len() as f64 / seconds,
+        dp_cells: after.counter_delta(&tel_before, sf_sdtw::telemetry::SDTW_DP_CELLS),
+        evals: after.counter_delta(&tel_before, sf_shard::telemetry::SHARD_PREFILTER_EVALS),
+        pruned,
+        fail_open: after.counter_delta(&tel_before, sf_shard::telemetry::SHARD_PREFILTER_FAIL_OPEN),
+        prune_rate: pruned as f64 / (reads.len() * panel.len()) as f64,
+    };
+
+    ShardingSection {
+        targets: panel.len(),
+        genome_bp: panel_config.genome_length,
+        reads: reads.len(),
+        sweep,
+        prefilter,
     }
 }
 
@@ -467,6 +606,32 @@ fn main() {
         scheduler_point.late_chunks,
     );
 
+    // The sharded pan-viral catalog sweep: reads/s and DP cells as the
+    // catalog widens, plus the prefilter-on pass.
+    let sharding = run_sharding(&model, quick);
+    println!();
+    println!(
+        "sharding: {}-target panel ({} bp refs), {} reads",
+        sharding.targets, sharding.genome_bp, sharding.reads
+    );
+    for p in &sharding.sweep {
+        println!(
+            "  {:>2} shards: {:>8.3} s, {:>10.2} reads/s, {} dp cells",
+            p.shards, p.seconds, p.reads_per_s, p.dp_cells
+        );
+    }
+    println!(
+        "  prefilter ({} shards): {:>8.3} s, {:>10.2} reads/s, prune rate {:.1}% \
+         ({} pruned / {} evals, {} fail-open)",
+        sharding.prefilter.shards,
+        sharding.prefilter.seconds,
+        sharding.prefilter.reads_per_s,
+        sharding.prefilter.prune_rate * 100.0,
+        sharding.prefilter.pruned,
+        sharding.prefilter.evals,
+        sharding.prefilter.fail_open,
+    );
+
     // A small oracle-policy flow-cell run so the `flowcell.*` counters in the
     // telemetry section reflect a live simulation, closing the kernel-to-flow-
     // cell loop this bench reports on.
@@ -509,6 +674,7 @@ fn main() {
         &points,
         &backend_points,
         &scheduler_point,
+        &sharding,
         &stats,
         frozen_point.as_ref(),
         &telemetry,
@@ -527,6 +693,7 @@ fn render_json(
     points: &[SweepPoint],
     backend_points: &[BackendPoint],
     scheduler_point: &SchedulerPoint,
+    sharding: &ShardingSection,
     stats: &DecisionStats,
     frozen_point: Option<&sf_sdtw::OperatingPoint>,
     telemetry: &Snapshot,
@@ -673,6 +840,40 @@ fn render_json(
         telemetry.histogram(sf_sched::telemetry::SCHED_CHUNK_QUEUE_WAIT_NS),
         "",
     );
+    let _ = writeln!(json, "  }},");
+    // The sharded pan-viral catalog sweep (docs/benchmarks.md, "Reference
+    // sharding"). Telemetry-derived fields (dp_cells, evals, pruned,
+    // fail_open, prune_rate) are 0 with telemetry compiled out.
+    let _ = writeln!(json, "  \"sharding\": {{");
+    let _ = writeln!(json, "    \"targets\": {},", sharding.targets);
+    let _ = writeln!(json, "    \"genome_bp\": {},", sharding.genome_bp);
+    let _ = writeln!(json, "    \"reads\": {},", sharding.reads);
+    let _ = writeln!(json, "    \"sweep\": [");
+    for (i, p) in sharding.sweep.iter().enumerate() {
+        let comma = if i + 1 < sharding.sweep.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "      {{ \"shards\": {}, \"seconds\": {:.6}, \"reads_per_s\": {:.3}, \
+             \"dp_cells\": {}, \"cells_per_s\": {:.0} }}{comma}",
+            p.shards, p.seconds, p.reads_per_s, p.dp_cells, p.cells_per_s,
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let pf = &sharding.prefilter;
+    let _ = writeln!(json, "    \"prefilter\": {{");
+    let _ = writeln!(json, "      \"shards\": {},", pf.shards);
+    let _ = writeln!(json, "      \"seconds\": {:.6},", pf.seconds);
+    let _ = writeln!(json, "      \"reads_per_s\": {:.3},", pf.reads_per_s);
+    let _ = writeln!(json, "      \"dp_cells\": {},", pf.dp_cells);
+    let _ = writeln!(json, "      \"evals\": {},", pf.evals);
+    let _ = writeln!(json, "      \"pruned\": {},", pf.pruned);
+    let _ = writeln!(json, "      \"fail_open\": {},", pf.fail_open);
+    let _ = writeln!(json, "      \"prune_rate\": {:.4}", pf.prune_rate);
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     render_telemetry(&mut json, telemetry, points);
     let _ = writeln!(json, "  \"samples_to_decision\": {{");

@@ -89,6 +89,24 @@ impl SessionState {
     }
 }
 
+/// Identifies one target reference within a sharded multi-target catalog.
+///
+/// Single-reference classifiers have no catalog and leave
+/// [`StreamClassification::target`] as `None`; a sharded classifier stamps
+/// the index of the winning shard (its position in the catalog) so callers
+/// can recover *which* target a read matched, not just that it matched.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct TargetId(pub u32);
+
+impl TargetId {
+    /// The shard index as a usize, for indexing a target catalog.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// The resolved outcome of a finished streaming session.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 #[must_use]
@@ -107,6 +125,9 @@ pub struct StreamClassification {
     /// `true` when the decision fired before the classifier's sample budget
     /// ([`ReadClassifier::max_decision_samples`]) was exhausted.
     pub decided_early: bool,
+    /// The winning target in a sharded multi-target catalog, `None` for
+    /// single-reference classifiers.
+    pub target: Option<TargetId>,
 }
 
 /// An in-progress streaming classification of one read.
@@ -313,6 +334,7 @@ mod tests {
                 result: None,
                 samples_consumed: self.seen,
                 decided_early: false,
+                target: None,
             }
         }
     }

@@ -539,6 +539,7 @@ impl ClassifierSession for SquiggleFilterSession<'_> {
             result: Some(result),
             samples_consumed: self.samples_consumed(),
             decided_early: self.decided_early,
+            target: None,
         }
     }
 }

@@ -72,7 +72,7 @@ pub mod threshold;
 
 pub use batch::{BatchClassifier, BatchConfig, BatchReport};
 pub use classifier::{
-    ClassifierSession, Decision, ReadClassifier, SessionState, StreamClassification,
+    ClassifierSession, Decision, ReadClassifier, SessionState, StreamClassification, TargetId,
 };
 pub use config::{Band, DistanceMetric, KernelBackend, MatchBonus, SdtwConfig};
 pub use filter::{

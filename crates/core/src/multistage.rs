@@ -467,6 +467,7 @@ impl ClassifierSession for MultiStageSession<'_> {
             result: Some(result),
             samples_consumed: self.samples_consumed(),
             decided_early: self.decided_early,
+            target: None,
         }
     }
 }

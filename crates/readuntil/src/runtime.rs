@@ -341,6 +341,7 @@ mod tests {
             result: None,
             samples_consumed: samples,
             decided_early: early,
+            target: None,
         };
         let stats = vec![
             // 3 targets: 2 kept, 1 lost.

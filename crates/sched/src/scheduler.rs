@@ -619,6 +619,7 @@ mod tests {
                 result: None,
                 samples_consumed: self.seen,
                 decided_early: false,
+                target: None,
             }
         }
     }

@@ -1,0 +1,236 @@
+//! Minimizer-seeding shard prefilter: cheap candidate selection before sDTW.
+//!
+//! With a wide target catalog, running full subsequence DTW against every
+//! reference for every read multiplies the dominant cost by the catalog
+//! width. The classical seeding observation (minimap2, UNCALLED) is that a
+//! read matching a reference shares exact minimizer hits with it, so a
+//! basecalled prefix with (almost) no anchors against a reference cannot map
+//! there — and its shard can be skipped without running sDTW at all.
+//!
+//! The prefilter is *approximate*: the HMM basecaller is noisy and short
+//! prefixes carry few minimizers, so pruning can in principle drop the true
+//! target. Two design rules keep it verdict-safe in practice:
+//!
+//! * **Fail open.** If the basecalled prefix is too short to judge, or no
+//!   shard clears the anchor bar, every shard is kept. Background reads
+//!   therefore still reject against the full catalog (depletion semantics
+//!   are preserved exactly), and a hard-to-basecall target read degrades to
+//!   the unpruned path instead of a wrong eject.
+//! * **Verdict-level pinning, not cost equality.** `tests/panel_accuracy.rs`
+//!   pins that turning the prefilter on never flips an accept into a reject
+//!   on the panel fixture; `shard.prefilter_pruned` telemetry reports the
+//!   work saved.
+
+use crate::telemetry::metrics;
+use sf_align::{MinimizerIndex, MinimizerParams};
+use sf_basecall::{Basecaller, BasecallerConfig};
+use sf_genome::Sequence;
+use sf_pore_model::{AdcModel, KmerModel};
+
+/// Configuration of the minimizer shard prefilter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefilterConfig {
+    /// Raw samples buffered before the prefilter decides which shards to
+    /// keep (one Guppy-style basecall chunk by default).
+    pub decision_samples: usize,
+    /// A shard survives when the basecalled prefix has at least this many
+    /// minimizer anchors against its reference (better strand).
+    pub min_anchors: usize,
+    /// Fail open (keep all shards) while the basecalled prefix is shorter
+    /// than this — too few bases to seed anchors at all.
+    pub min_basecall_bases: usize,
+    /// Minimizer scheme used for the per-shard indices.
+    pub minimizer: MinimizerParams,
+    /// HMM basecaller parameters for the prefix basecall.
+    pub basecaller: BasecallerConfig,
+    /// ADC calibration used to recover picoamperes from raw codes.
+    pub adc: AdcModel,
+}
+
+impl Default for PrefilterConfig {
+    fn default() -> Self {
+        PrefilterConfig {
+            decision_samples: 2_000,
+            min_anchors: 3,
+            min_basecall_bases: 50,
+            minimizer: MinimizerParams::default(),
+            basecaller: BasecallerConfig::default(),
+            adc: AdcModel::default(),
+        }
+    }
+}
+
+impl PrefilterConfig {
+    /// A preset for realistically noisy signal: the HMM basecaller's error
+    /// rate on simulated noisy squiggles leaves few exact 13-mers intact, so
+    /// the default scheme almost always fails open there. Shorter 9-mer
+    /// seeds survive the error rate; spurious 9-mer hits are common enough
+    /// that the anchor bar stays at 3.
+    pub fn noisy() -> Self {
+        PrefilterConfig {
+            minimizer: MinimizerParams { k: 9, w: 8 },
+            ..PrefilterConfig::default()
+        }
+    }
+}
+
+/// The resolved prefilter judgement for one read prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefilterOutcome {
+    /// Per-shard survival, in catalog order. Pruned shards never run sDTW.
+    pub keep: Vec<bool>,
+    /// Per-shard anchor count (the better of the two strands); all zeros
+    /// when the prefix could not be basecalled far enough.
+    pub anchor_counts: Vec<usize>,
+    /// `true` when every shard was kept defensively (prefix too short, or
+    /// no shard cleared `min_anchors`) rather than on anchor evidence.
+    pub fail_open: bool,
+}
+
+impl PrefilterOutcome {
+    /// Number of shards pruned by this judgement.
+    pub fn pruned(&self) -> usize {
+        self.keep.iter().filter(|&&k| !k).count()
+    }
+}
+
+/// A minimizer index per target reference plus the shared prefix basecaller.
+#[derive(Debug, Clone)]
+pub struct MinimizerPrefilter {
+    basecaller: Basecaller,
+    indices: Vec<MinimizerIndex>,
+    config: PrefilterConfig,
+}
+
+impl MinimizerPrefilter {
+    /// Builds one minimizer index per target reference (catalog order must
+    /// match the sharded classifier the prefilter is attached to).
+    pub fn new<'a, I>(model: KmerModel, references: I, config: PrefilterConfig) -> Self
+    where
+        I: IntoIterator<Item = &'a Sequence>,
+    {
+        let indices: Vec<MinimizerIndex> = references
+            .into_iter()
+            .map(|reference| MinimizerIndex::build(reference, config.minimizer))
+            .collect();
+        assert!(
+            !indices.is_empty(),
+            "prefilter needs at least one reference"
+        );
+        MinimizerPrefilter {
+            basecaller: Basecaller::new(model, config.basecaller),
+            indices,
+            config,
+        }
+    }
+
+    /// Number of target references indexed.
+    pub fn target_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PrefilterConfig {
+        &self.config
+    }
+
+    /// Basecalls a raw-signal prefix and judges every shard by its anchor
+    /// count. Deterministic in the prefix bytes, so any chunking that buffers
+    /// the same `decision_samples` prefix resolves to the same judgement.
+    pub fn evaluate(&self, raw: &[u16]) -> PrefilterOutcome {
+        let m = metrics();
+        m.prefilter_evals.add(1);
+        let picoamps = self.config.adc.to_picoamps_all(raw);
+        let called = self.basecaller.basecall(&picoamps);
+        if called.len() < self.config.min_basecall_bases {
+            m.prefilter_fail_open.add(1);
+            return PrefilterOutcome {
+                keep: vec![true; self.indices.len()],
+                anchor_counts: vec![0; self.indices.len()],
+                fail_open: true,
+            };
+        }
+        // The indices are forward-strand only; judge the better orientation,
+        // as the mapper does.
+        let reverse = called.reverse_complement();
+        let anchor_counts: Vec<usize> = self
+            .indices
+            .iter()
+            .map(|index| {
+                index
+                    .anchors(&called)
+                    .len()
+                    .max(index.anchors(&reverse).len())
+            })
+            .collect();
+        let keep: Vec<bool> = anchor_counts
+            .iter()
+            .map(|&count| count >= self.config.min_anchors)
+            .collect();
+        if keep.iter().all(|&k| !k) {
+            m.prefilter_fail_open.add(1);
+            return PrefilterOutcome {
+                keep: vec![true; self.indices.len()],
+                anchor_counts,
+                fail_open: true,
+            };
+        }
+        m.prefilter_pruned
+            .add(keep.iter().filter(|&&k| !k).count() as u64);
+        PrefilterOutcome {
+            keep,
+            anchor_counts,
+            fail_open: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_genome::random::random_genome;
+
+    /// The ideal 10-samples-per-base squiggle for a fragment.
+    fn noiseless_squiggle(model: &KmerModel, fragment: &Sequence) -> Vec<u16> {
+        model
+            .expected_raw_squiggle(fragment, 10, &AdcModel::default())
+            .samples()
+            .to_vec()
+    }
+
+    #[test]
+    fn target_shard_survives_and_unrelated_shards_prune() {
+        let model = KmerModel::synthetic_r94(0);
+        let genomes: Vec<Sequence> = (0..4).map(|i| random_genome(40 + i, 20_000)).collect();
+        let prefilter =
+            MinimizerPrefilter::new(model.clone(), genomes.iter(), PrefilterConfig::default());
+        let raw = noiseless_squiggle(&model, &genomes[2].subsequence(5_000, 6_000));
+        let outcome = prefilter.evaluate(&raw[..2_000.min(raw.len())]);
+        assert!(!outcome.fail_open);
+        assert!(outcome.keep[2], "true target must survive");
+        assert!(outcome.pruned() >= 1, "unrelated shards should prune");
+        assert!(outcome.anchor_counts[2] > outcome.anchor_counts[0]);
+    }
+
+    #[test]
+    fn junk_signal_fails_open() {
+        let model = KmerModel::synthetic_r94(0);
+        let genomes: Vec<Sequence> = (0..3).map(|i| random_genome(50 + i, 10_000)).collect();
+        let prefilter = MinimizerPrefilter::new(model, genomes.iter(), PrefilterConfig::default());
+        // A flat line basecalls to (almost) nothing: keep everything.
+        let outcome = prefilter.evaluate(&[500u16; 2_000]);
+        assert!(outcome.fail_open);
+        assert!(outcome.keep.iter().all(|&k| k));
+        assert_eq!(outcome.pruned(), 0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let model = KmerModel::synthetic_r94(0);
+        let genomes: Vec<Sequence> = (0..3).map(|i| random_genome(60 + i, 15_000)).collect();
+        let prefilter =
+            MinimizerPrefilter::new(model.clone(), genomes.iter(), PrefilterConfig::default());
+        let raw = noiseless_squiggle(&model, &genomes[1].subsequence(2_000, 2_600));
+        assert_eq!(prefilter.evaluate(&raw), prefilter.evaluate(&raw));
+    }
+}

@@ -124,6 +124,49 @@ for path, run, needs_hist in ((enabled_path, enabled, True),
     if needs_hist and hist.get("count", 0) <= 0:
         broken(f"{path}: scheduler.chunk_queue_wait_ns.count is not positive")
 
+# 1d. The sharded pan-viral catalog section: present in both modes, with a
+# >= 8-target panel, the full shard-count sweep and the prefilter pass.
+# Telemetry-derived fields (dp_cells, evals, pruned, fail_open, prune_rate)
+# must be positive only where telemetry can record them.
+for path, run, has_tel in ((enabled_path, enabled, True),
+                           (disabled_path, disabled, False)):
+    sharding = run.get("sharding")
+    if not isinstance(sharding, dict):
+        broken(f"{path}: no sharding section")
+        continue
+    for key in ("targets", "genome_bp", "reads", "sweep", "prefilter"):
+        if key not in sharding:
+            broken(f"{path}: sharding.{key} missing")
+    if sharding.get("targets", 0) < 8:
+        broken(f"{path}: sharding.targets < 8 (not a pan-viral panel)")
+    sweep = sharding.get("sweep", [])
+    if [p.get("shards") for p in sweep] != [1, 2, 4, 8]:
+        broken(f"{path}: sharding.sweep shard counts are not [1, 2, 4, 8]")
+    for p in sweep:
+        for key in ("shards", "seconds", "reads_per_s", "dp_cells",
+                    "cells_per_s"):
+            if key not in p:
+                broken(f"{path}: sharding.sweep[{p.get('shards')}].{key} missing")
+        if p.get("reads_per_s", 0) <= 0:
+            broken(f"{path}: sharding.sweep[{p.get('shards')}].reads_per_s "
+                   "is not positive")
+        if has_tel and p.get("dp_cells", 0) <= 0:
+            broken(f"{path}: sharding.sweep[{p.get('shards')}].dp_cells "
+                   "is not positive")
+        if not has_tel and p.get("dp_cells", 0) != 0:
+            broken(f"{path}: sharding.sweep[{p.get('shards')}].dp_cells != 0 "
+                   "with telemetry compiled out")
+    pf = sharding.get("prefilter", {})
+    for key in ("shards", "seconds", "reads_per_s", "dp_cells", "evals",
+                "pruned", "fail_open", "prune_rate"):
+        if key not in pf:
+            broken(f"{path}: sharding.prefilter.{key} missing")
+    if has_tel and pf.get("evals", 0) <= 0:
+        broken(f"{path}: sharding.prefilter.evals is not positive")
+    if not has_tel and pf.get("evals", 0) != 0:
+        broken(f"{path}: sharding.prefilter.evals != 0 with telemetry "
+               "compiled out")
+
 # 2. The disabled build really is disabled.
 if disabled.get("telemetry", {}).get("enabled") is not False:
     broken(f"{disabled_path}: telemetry.enabled is not false "

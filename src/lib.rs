@@ -14,6 +14,7 @@
 //! | [`squiggle`] | `sf-squiggle` | signal containers, normalization, events |
 //! | [`sim`] | `sf-sim` | read/squiggle/flow-cell simulation |
 //! | [`sdtw`] | `sf-sdtw` | the SquiggleFilter itself (sDTW kernels, filters, thresholds) |
+//! | [`shard`] | `sf-shard` | sharded multi-target catalogs, best-of merging, pan-viral panels |
 //! | [`hw`] | `sf-hw` | cycle-level accelerator model, area/power/latency |
 //! | [`basecall`] | `sf-basecall` | HMM basecaller + Guppy GPU performance models |
 //! | [`align`] | `sf-align` | minimizer mapper, FM-index, UNCALLED-style baseline |
@@ -66,6 +67,7 @@ pub use sf_pore_model as pore_model;
 pub use sf_readuntil as readuntil;
 pub use sf_sched as sched;
 pub use sf_sdtw as sdtw;
+pub use sf_shard as shard;
 pub use sf_sim as sim;
 pub use sf_squiggle as squiggle;
 pub use sf_telemetry as telemetry;
@@ -89,6 +91,11 @@ pub mod prelude {
         Band, BatchClassifier, BatchConfig, BatchReport, ClassifierSession, Decision, FilterConfig,
         FilterVerdict, KernelBackend, MultiStageConfig, MultiStageFilter, ReadClassifier,
         SdtwConfig, SdtwKernel, SdtwStream, SessionState, SquiggleFilter, StreamClassification,
+        TargetId,
+    };
+    pub use sf_shard::{
+        pan_viral_panel, panel_classifier, panel_prefilter, MinimizerPrefilter, PanelConfig,
+        PanelTarget, PrefilterConfig, ShardedClassifier, ShardedSession,
     };
     pub use sf_sim::{
         ArrivalTrace, ClassifierPolicy, DatasetBuilder, FlowCellConfig, FlowCellSimulator,

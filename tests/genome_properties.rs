@@ -1,0 +1,115 @@
+//! Property tests for the `sf-genome` machinery the pan-viral panel is
+//! built from: catalog lookup, the mutation model, Table 2 strains and the
+//! random genome generator. Everything here must be deterministic under the
+//! vendored RNG — the panel fixture and the bench's `sharding` section both
+//! lean on that.
+
+use squigglefilter::genome::catalog::{epidemic_viruses, find};
+use squigglefilter::genome::mutate::{apply, random_substitutions, Mutator};
+use squigglefilter::genome::random::{random_genome, GenomeGenerator};
+use squigglefilter::genome::strain::{simulate_table2_strains, table2_clade_definitions};
+
+#[test]
+fn catalog_lookup_round_trips_every_entry() {
+    for virus in epidemic_viruses() {
+        let found = find(virus.name).expect("every catalog entry must be findable");
+        assert_eq!(found, virus);
+        // Lookup is case-insensitive.
+        assert_eq!(find(&virus.name.to_lowercase()), Some(virus.clone()));
+        assert_eq!(find(&virus.name.to_uppercase()), Some(virus));
+    }
+    assert_eq!(find("No Such Virus"), None);
+}
+
+#[test]
+fn zero_mutations_is_the_identity() {
+    let genome = random_genome(11, 2_000);
+    let (mutated, mutations) = Mutator::new(5).mutate(&genome);
+    assert!(mutations.is_empty());
+    assert_eq!(mutated, genome);
+    // Applying an empty mutation list is also the identity.
+    assert_eq!(apply(&genome, &[]), genome);
+}
+
+#[test]
+fn substitutions_change_exactly_the_requested_sites() {
+    let genome = random_genome(13, 3_000);
+    for n in [1usize, 17, 23, 150] {
+        let mutated = random_substitutions(&genome, n, 77);
+        assert_eq!(mutated.len(), genome.len(), "substitutions keep length");
+        // Positions are distinct and a substitution never writes the
+        // original base back, so the mismatch count is exactly n.
+        assert_eq!(genome.mismatches(&mutated), n);
+    }
+}
+
+#[test]
+fn indels_shift_length_by_their_net_count() {
+    let genome = random_genome(17, 1_000);
+    let (mutated, mutations) = Mutator::new(3)
+        .substitutions(4)
+        .insertions(6)
+        .deletions(2)
+        .mutate(&genome);
+    assert_eq!(mutations.len(), 12);
+    assert_eq!(mutated.len(), genome.len() + 6 - 2);
+}
+
+#[test]
+fn mutation_generation_is_deterministic_under_the_seed() {
+    let genome = random_genome(19, 2_500);
+    let build = || {
+        Mutator::new(21)
+            .substitutions(23)
+            .insertions(1)
+            .mutate(&genome)
+    };
+    assert_eq!(build(), build());
+    // A different seed moves the sites.
+    let other = Mutator::new(22)
+        .substitutions(23)
+        .insertions(1)
+        .mutate(&genome);
+    assert_ne!(build().1, other.1);
+}
+
+#[test]
+fn table2_strains_match_their_clade_definitions() {
+    let reference = random_genome(23, 5_000);
+    let strains = simulate_table2_strains(&reference, 9);
+    let definitions = table2_clade_definitions();
+    assert_eq!(strains.len(), definitions.len());
+    for (strain, (clade, snps, origin)) in strains.iter().zip(definitions) {
+        assert_eq!(strain.clade, clade);
+        assert_eq!(strain.origin, origin);
+        assert_eq!(strain.substitution_count(), snps);
+        // Table 2's point: SNPs only, no indels, same genome length.
+        assert_eq!(strain.indel_count(), 0);
+        assert_eq!(strain.genome.len(), reference.len());
+        assert_eq!(reference.mismatches(&strain.genome), snps);
+    }
+    // Deterministic under the seed, distinct across seeds.
+    assert_eq!(simulate_table2_strains(&reference, 9), strains);
+    assert_ne!(
+        simulate_table2_strains(&reference, 10)[0].genome,
+        strains[0].genome
+    );
+}
+
+#[test]
+fn genome_generation_is_deterministic_and_tracks_gc() {
+    let a = GenomeGenerator::new(31).gc_content(0.58).generate(20_000);
+    let b = GenomeGenerator::new(31).gc_content(0.58).generate(20_000);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 20_000);
+    assert!(
+        (a.gc_content() - 0.58).abs() < 0.02,
+        "gc {}",
+        a.gc_content()
+    );
+    // Different seeds decorrelate: two random genomes agree on ~25% of
+    // sites, nowhere near the identity.
+    let c = GenomeGenerator::new(32).gc_content(0.58).generate(20_000);
+    let agreement = 1.0 - a.mismatches(&c) as f64 / a.len() as f64;
+    assert!(agreement < 0.4, "agreement {agreement}");
+}
